@@ -1,0 +1,56 @@
+//! Criterion bench: real-time cost of HNS cache hits in marshalled vs
+//! demarshalled form (the code-path contrast behind Table 3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hns_core::cache::{CacheMode, HnsCache, MetaKey};
+use simnet::World;
+use std::hint::black_box;
+use wire::Value;
+
+fn entry(rrs: usize) -> Value {
+    Value::List(
+        (0..rrs)
+            .map(|i| Value::str(format!("payload {i}")))
+            .collect(),
+    )
+}
+
+fn key() -> MetaKey {
+    MetaKey::HostAddr("BIND".into(), "fiji".into())
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let world = World::paper();
+    let mut group = c.benchmark_group("hns_cache_hit");
+    for &rrs in &[1usize, 6] {
+        for (label, mode) in [
+            ("marshalled", CacheMode::Marshalled),
+            ("demarshalled", CacheMode::Demarshalled),
+        ] {
+            let cache = HnsCache::new(mode);
+            cache.insert(&world, key(), &entry(rrs), rrs, 1 << 20);
+            group.bench_with_input(BenchmarkId::new(label, rrs), &rrs, |b, _| {
+                b.iter(|| {
+                    let got = cache.get(&world, black_box(&key()));
+                    assert!(got.is_some());
+                    got
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_cache
+}
+criterion_main!(benches);

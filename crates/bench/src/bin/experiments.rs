@@ -1,0 +1,95 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments all                 # everything, in order
+//! experiments table31 table32    # specific experiments
+//! ```
+//!
+//! Experiment ids: `table31 table32 overhead comparison preload eq1
+//! figure21 mappings ablate-mappings ablate-ttl scalability ablate-rereg`.
+
+use hns_bench::experiments as exp;
+
+fn run_one(id: &str) -> Result<String, String> {
+    let out = match id {
+        "table31" => exp::table31::run().render(),
+        "table32" => {
+            let mut s = exp::table32::run().render();
+            s.push('\n');
+            s.push_str(&exp::table32::run_standard_routines().render());
+            s
+        }
+        "overhead" => exp::overhead::run().render(),
+        "comparison" => exp::comparison::run().render(),
+        "preload" => {
+            let results = exp::preload::run();
+            format!(
+                "{}\n{}\nbreak-even (paper accounting): {:?} calls\n\
+                 break-even (measured, shared entries): {:?} calls\n",
+                results.headline.render(),
+                results.sweep.render(),
+                results.break_even_paper_model,
+                results.break_even_measured
+            )
+        }
+        "eq1" => {
+            let results = exp::eq1::run();
+            format!(
+                "{}\n{}",
+                results.thresholds.render(),
+                results.sweep.render()
+            )
+        }
+        "figure21" => exp::figure21::run(),
+        "hit-ratios" => exp::hit_ratios::run().table.render(),
+        "mappings" => exp::mappings::run().render(),
+        "ablate-mappings" => exp::ablate_mappings::run().render(),
+        "ablate-ttl" => exp::ablate_ttl::run().render(),
+        "scalability" => exp::scalability::run().render(),
+        "ablate-rereg" => exp::ablate_rereg::run().render(),
+        other => return Err(format!("unknown experiment `{other}`")),
+    };
+    Ok(out)
+}
+
+const ALL: &[&str] = &[
+    "table31",
+    "table32",
+    "overhead",
+    "comparison",
+    "preload",
+    "eq1",
+    "figure21",
+    "hit-ratios",
+    "mappings",
+    "ablate-mappings",
+    "ablate-ttl",
+    "scalability",
+    "ablate-rereg",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        println!("=== experiment: {id} ===");
+        match run_one(id) {
+            Ok(output) => println!("{output}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                eprintln!("known experiments: {}", ALL.join(" "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

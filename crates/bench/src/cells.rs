@@ -1,0 +1,217 @@
+//! Paper-vs-measured cells and plain-text table rendering.
+
+use std::fmt::Write as _;
+
+/// One measured quantity compared against the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The paper's reported value (milliseconds unless noted).
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+}
+
+impl Cell {
+    /// Builds a cell.
+    pub fn new(paper: f64, measured: f64) -> Self {
+        Cell { paper, measured }
+    }
+
+    /// Relative error versus the paper, in percent (positive = we are
+    /// slower/larger).
+    pub fn error_pct(&self) -> f64 {
+        if self.paper == 0.0 {
+            0.0
+        } else {
+            (self.measured - self.paper) / self.paper * 100.0
+        }
+    }
+}
+
+/// A labelled table of paper-vs-measured cells.
+#[derive(Debug, Clone, Default)]
+pub struct PaperTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers (excluding the row-label column).
+    pub columns: Vec<String>,
+    /// Rows: label plus one cell per column.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl PaperTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        PaperTable {
+            title: title.into(),
+            columns: columns.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Largest absolute relative error in the table, percent.
+    pub fn worst_error_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|(_, cells)| cells.iter())
+            .map(|c| c.error_pct().abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders as aligned plain text: each column shows
+    /// `paper / measured (err%)`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4);
+        let col_width = 26usize;
+        let _ = write!(out, "{:label_width$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " | {c:^col_width$}");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:label_width$}", "");
+        for _ in &self.columns {
+            let _ = write!(out, " | {:^col_width$}", "paper / measured (err)");
+        }
+        let _ = writeln!(out);
+        let total = label_width + self.columns.len() * (col_width + 3);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{label:label_width$}");
+            for cell in cells {
+                let shown = format!(
+                    "{:7.1} / {:7.1} ({:+5.1}%)",
+                    cell.paper,
+                    cell.measured,
+                    cell.error_pct()
+                );
+                let _ = write!(out, " | {shown:^col_width$}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "worst cell error: {:.1}%", self.worst_error_pct());
+        out
+    }
+}
+
+/// A free-form results table (no paper column), for ablations.
+#[derive(Debug, Clone, Default)]
+pub struct PlainTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of preformatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl PlainTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        PlainTable {
+            title: title.into(),
+            columns: columns.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{:>w$}",
+                if i == 0 { "" } else { " | " },
+                c,
+                w = widths[i]
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{:>w$}",
+                    if i == 0 { "" } else { " | " },
+                    cell,
+                    w = widths[i]
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_error() {
+        assert!((Cell::new(100.0, 110.0).error_pct() - 10.0).abs() < 1e-9);
+        assert_eq!(Cell::new(0.0, 5.0).error_pct(), 0.0);
+    }
+
+    #[test]
+    fn paper_table_renders_and_tracks_worst_error() {
+        let mut t = PaperTable::new("Table X", vec!["A", "B"]);
+        t.push_row("row1", vec![Cell::new(100.0, 98.0), Cell::new(50.0, 60.0)]);
+        let rendered = t.render();
+        assert!(rendered.contains("Table X"));
+        assert!(rendered.contains("row1"));
+        assert!((t.worst_error_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = PaperTable::new("T", vec!["A"]);
+        t.push_row("r", vec![]);
+    }
+
+    #[test]
+    fn plain_table_renders() {
+        let mut t = PlainTable::new("Ablation", vec!["ttl", "hit rate"]);
+        t.push_row(vec!["60".into(), "0.95".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Ablation"));
+        assert!(rendered.contains("0.95"));
+    }
+}

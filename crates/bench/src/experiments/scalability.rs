@@ -1,0 +1,135 @@
+//! A3 — ablation: the scalability argument of §2 under load.
+//!
+//! "The basic distribution of the HNS occurs naturally since each new
+//! system type introducing a new set of names also includes a name service
+//! managing those names that we can take advantage of directly." A
+//! reregistration-based global service concentrates every lookup on one
+//! server; direct access spreads lookups across the subsystems' own
+//! servers. This ablation sweeps the offered load and compares mean
+//! response times.
+
+use simnet::des::{
+    route_all_to, route_uniform, ArrivalProcess, OpenWorkload, QueueSim, ServiceTime,
+};
+use simnet::rng::DetRng;
+
+use crate::cells::PlainTable;
+
+/// Mean lookup service time of a name server, ms (the BIND primitive's
+/// server-side component plus marshalling).
+const SERVICE_MS: f64 = 10.0;
+/// Number of federated subsystem name services.
+const FEDERATION: usize = 4;
+/// Jobs per sweep point.
+const JOBS: u64 = 40_000;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadPoint {
+    /// Offered load, lookups per second.
+    pub rate_per_s: f64,
+    /// Mean response of the single central server, ms (`None` if the
+    /// server is saturated at this rate).
+    pub central_ms: Option<f64>,
+    /// Mean response with lookups spread over the federation, ms.
+    pub federated_ms: Option<f64>,
+}
+
+/// Runs one sweep point.
+pub fn run_point(rate_per_s: f64) -> LoadPoint {
+    let rate_per_ms = rate_per_s / 1000.0;
+    let service = ServiceTime::Exponential {
+        mean_ms: SERVICE_MS,
+    };
+
+    let central_ms = if rate_per_ms * SERVICE_MS < 0.98 {
+        let mut sim = QueueSim::new();
+        let s = sim.add_server(service);
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson { rate_per_ms },
+            JOBS,
+            DetRng::new(101),
+        );
+        sim.run_open(wl, route_all_to(s), &mut DetRng::new(102))
+            .map(|stats| stats.mean_ms)
+    } else {
+        None // rho >= 1: unstable.
+    };
+
+    let federated_ms = if rate_per_ms * SERVICE_MS / (FEDERATION as f64) < 0.98 {
+        let mut sim = QueueSim::new();
+        for _ in 0..FEDERATION {
+            sim.add_server(service);
+        }
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson { rate_per_ms },
+            JOBS,
+            DetRng::new(101),
+        );
+        sim.run_open(wl, route_uniform(FEDERATION), &mut DetRng::new(102))
+            .map(|stats| stats.mean_ms)
+    } else {
+        None
+    };
+
+    LoadPoint {
+        rate_per_s,
+        central_ms,
+        federated_ms,
+    }
+}
+
+/// Runs the sweep.
+pub fn run() -> PlainTable {
+    let mut table = PlainTable::new(
+        format!(
+            "Ablation A3 — load response: one central reregistered server vs \
+             {FEDERATION} federated subsystem name services (service {SERVICE_MS} ms)"
+        ),
+        vec!["lookups/s", "central mean (ms)", "federated mean (ms)"],
+    );
+    for rate in [20.0, 50.0, 80.0, 95.0, 150.0, 300.0] {
+        let point = run_point(rate);
+        let show = |v: Option<f64>| match v {
+            Some(ms) => format!("{ms:.1}"),
+            None => "saturated".to_string(),
+        };
+        table.push_row(vec![
+            format!("{rate:.0}"),
+            show(point.central_ms),
+            show(point.federated_ms),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn federation_wins_at_high_load() {
+        let point = run_point(80.0); // rho_central = 0.8, rho_fed = 0.2
+        let central = point.central_ms.expect("stable");
+        let federated = point.federated_ms.expect("stable");
+        assert!(
+            federated * 2.0 < central,
+            "federated {federated} vs central {central}"
+        );
+    }
+
+    #[test]
+    fn central_saturates_first() {
+        let point = run_point(150.0); // rho_central = 1.5
+        assert!(point.central_ms.is_none());
+        assert!(point.federated_ms.is_some());
+    }
+
+    #[test]
+    fn light_load_is_comparable() {
+        let point = run_point(20.0); // rho_central = 0.2
+        let central = point.central_ms.expect("stable");
+        let federated = point.federated_ms.expect("stable");
+        assert!((central - federated).abs() < central * 0.5);
+    }
+}

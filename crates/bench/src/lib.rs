@@ -1,0 +1,17 @@
+//! `hns-bench` — the experiment harness.
+//!
+//! Regenerates every table and figure of the paper's evaluation in
+//! calibrated virtual time ([`experiments`]), plus criterion micro-benches
+//! in real time (`benches/`). Run everything with:
+//!
+//! ```text
+//! cargo run -p hns-bench --bin experiments -- all
+//! ```
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod experiments;
+pub mod scenario;
+
+pub use cells::{Cell, PaperTable, PlainTable};
+pub use scenario::{deploy, Arrangement, CacheState, DeployedArrangement};

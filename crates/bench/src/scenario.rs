@@ -1,0 +1,243 @@
+//! The Table 3.1 scenario: one import under every colocation arrangement
+//! and cache state.
+
+use std::sync::Arc;
+
+use hns_core::cache::CacheMode;
+use hns_core::colocation::{
+    AgentClient, AgentService, HnsHandle, HnsService, AGENT_PROGRAM, HNS_PROGRAM,
+};
+use hns_core::name::HnsName;
+use hns_core::service::Hns;
+use hrpc::{ComponentSet, HrpcBinding};
+use nsms::harness::{Testbed, DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM};
+use nsms::nsm_cache::NsmCacheForm;
+use nsms::{DeployedBindingNsms, Importer};
+use simnet::topology::NetAddr;
+use wire::Value;
+
+/// The five colocation arrangements of Table 3.1. `[x, y]` means
+/// colocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrangement {
+    /// 1. `[Client, HNS, NSMs]`
+    AllLinked,
+    /// 2. `[Client] [HNS, NSMs]` — the agent structure.
+    Agent,
+    /// 3. `[HNS] [Client, NSMs]`
+    RemoteHns,
+    /// 4. `[NSMs] [Client, HNS]`
+    RemoteNsms,
+    /// 5. `[Client] [HNS] [NSMs]`
+    AllRemote,
+}
+
+impl Arrangement {
+    /// All five, in table order.
+    pub fn all() -> [Arrangement; 5] {
+        [
+            Arrangement::AllLinked,
+            Arrangement::Agent,
+            Arrangement::RemoteHns,
+            Arrangement::RemoteNsms,
+            Arrangement::AllRemote,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arrangement::AllLinked => "1. [Client, HNS, NSMs]",
+            Arrangement::Agent => "2. [Client] [HNS, NSMs]",
+            Arrangement::RemoteHns => "3. [HNS] [Client, NSMs]",
+            Arrangement::RemoteNsms => "4. [NSMs] [Client, HNS]",
+            Arrangement::AllRemote => "5. [Client] [HNS] [NSMs]",
+        }
+    }
+}
+
+/// The cache states of Table 3.1's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// Column A: both caches miss.
+    Miss,
+    /// Column B: HNS cache hits, NSM cache misses.
+    HnsHit,
+    /// Column C: both caches hit.
+    BothHit,
+}
+
+/// A deployed arrangement, ready to run imports.
+pub struct DeployedArrangement {
+    /// The environment.
+    pub testbed: Testbed,
+    /// The HNS instance (wherever it is linked).
+    pub hns: Arc<Hns>,
+    /// The deployed binding NSMs.
+    pub nsms: DeployedBindingNsms,
+    runner: Runner,
+}
+
+enum Runner {
+    Importer(Importer),
+    Agent(AgentClient),
+}
+
+/// Builds the testbed and deploys one arrangement with the given NSM/HNS
+/// cache form.
+pub fn deploy(
+    arrangement: Arrangement,
+    form: NsmCacheForm,
+    mode: CacheMode,
+) -> DeployedArrangement {
+    let tb = Testbed::build();
+    let client = tb.hosts.client;
+    let (hns_host, nsm_host) = match arrangement {
+        Arrangement::AllLinked => (client, client),
+        Arrangement::Agent => (tb.hosts.agent, tb.hosts.agent),
+        Arrangement::RemoteHns => (tb.hosts.hns, client),
+        Arrangement::RemoteNsms => (client, tb.hosts.nsm),
+        Arrangement::AllRemote => (tb.hosts.hns, tb.hosts.nsm),
+    };
+    let nsms = tb.deploy_binding_nsms(nsm_host, form);
+    let hns = tb.make_hns(hns_host, mode);
+
+    let runner = match arrangement {
+        Arrangement::AllLinked | Arrangement::RemoteNsms => Runner::Importer(Importer::new(
+            Arc::clone(&tb.net),
+            client,
+            HnsHandle::Linked(Arc::clone(&hns)),
+        )),
+        Arrangement::RemoteHns | Arrangement::AllRemote => {
+            let port = tb
+                .net
+                .export(hns_host, HNS_PROGRAM, HnsService::new(Arc::clone(&hns)));
+            let binding = HrpcBinding {
+                host: hns_host,
+                addr: NetAddr::of(hns_host),
+                program: HNS_PROGRAM,
+                port,
+                components: ComponentSet::raw_tcp(port),
+            };
+            Runner::Importer(Importer::new(
+                Arc::clone(&tb.net),
+                client,
+                HnsHandle::Remote(binding),
+            ))
+        }
+        Arrangement::Agent => {
+            let port = tb.net.export(
+                tb.hosts.agent,
+                AGENT_PROGRAM,
+                AgentService::new(Arc::clone(&hns), tb.hosts.agent),
+            );
+            let binding = HrpcBinding {
+                host: tb.hosts.agent,
+                addr: NetAddr::of(tb.hosts.agent),
+                program: AGENT_PROGRAM,
+                port,
+                components: ComponentSet::raw_tcp(port),
+            };
+            Runner::Agent(AgentClient::new(Arc::clone(&tb.net), client, binding))
+        }
+    };
+    DeployedArrangement {
+        testbed: tb,
+        hns,
+        nsms,
+        runner,
+    }
+}
+
+impl DeployedArrangement {
+    /// The HNS name of the target Sun service's host.
+    pub fn target_name(&self) -> HnsName {
+        HnsName::new(self.testbed.ctx_bind(), "fiji.cs.washington.edu").expect("name")
+    }
+
+    /// Performs one import end to end; returns nothing (timing is read
+    /// from the world by the caller).
+    pub fn run_import(&self) -> Result<(), String> {
+        let name = self.target_name();
+        match &self.runner {
+            Runner::Importer(importer) => importer
+                .import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &name)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Runner::Agent(agent) => agent
+                .query(
+                    &hns_core::QueryClass::hrpc_binding(),
+                    &name,
+                    vec![
+                        ("service", Value::str(DESIRED_SERVICE)),
+                        ("program", Value::U32(DESIRED_SERVICE_PROGRAM.0)),
+                    ],
+                )
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Forces the given cache state, then measures one import in virtual
+    /// milliseconds.
+    pub fn measure(&self, state: CacheState) -> f64 {
+        match state {
+            CacheState::Miss => {
+                self.hns.clear_cache();
+                self.nsms.bind.clear_cache();
+            }
+            CacheState::HnsHit => {
+                self.run_import().expect("warming import");
+                self.nsms.bind.clear_cache();
+            }
+            CacheState::BothHit => {
+                self.run_import().expect("warming import");
+                self.run_import().expect("warming import");
+            }
+        }
+        let (result, took, _) = self.testbed.world.measure(|| self.run_import());
+        result.expect("measured import");
+        took.as_ms_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_arrangement_imports_successfully() {
+        for arrangement in Arrangement::all() {
+            let deployed = deploy(arrangement, NsmCacheForm::Marshalled, CacheMode::Marshalled);
+            deployed.run_import().unwrap_or_else(|e| {
+                panic!("{}: {e}", arrangement.label());
+            });
+        }
+    }
+
+    #[test]
+    fn arrangements_order_by_remote_hops_on_miss() {
+        let ms: Vec<f64> = Arrangement::all()
+            .into_iter()
+            .map(|a| {
+                deploy(a, NsmCacheForm::Marshalled, CacheMode::Marshalled).measure(CacheState::Miss)
+            })
+            .collect();
+        // Row 1 (no hops) is cheapest; row 5 (two hops) is dearest.
+        assert!(ms[0] < ms[1] && ms[0] < ms[2] && ms[0] < ms[3], "{ms:?}");
+        assert!(ms[4] > ms[1] && ms[4] > ms[2] && ms[4] > ms[3], "{ms:?}");
+    }
+
+    #[test]
+    fn cache_states_order_within_a_row() {
+        let deployed = deploy(
+            Arrangement::AllLinked,
+            NsmCacheForm::Marshalled,
+            CacheMode::Marshalled,
+        );
+        let a = deployed.measure(CacheState::Miss);
+        let b = deployed.measure(CacheState::HnsHit);
+        let c = deployed.measure(CacheState::BothHit);
+        assert!(a > b && b > c, "A={a} B={b} C={c}");
+    }
+}

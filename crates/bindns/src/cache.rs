@@ -1,0 +1,217 @@
+//! The resolver's TTL cache.
+//!
+//! "Cached data is tagged with a time-to-live field for cache invalidation.
+//! While this simplistic mechanism can cause cache consistency problems, it
+//! would not make sense to use a more sophisticated scheme because the
+//! source of our cached data (BIND) also uses this mechanism."
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use simnet::time::{SimDuration, SimTime};
+
+use crate::name::DomainName;
+use crate::rr::{RType, ResourceRecord};
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries evicted because their TTL expired.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    records: Vec<ResourceRecord>,
+    expires_at: SimTime,
+}
+
+/// A TTL-invalidated record cache.
+#[derive(Debug, Default)]
+pub struct TtlCache {
+    entries: Mutex<HashMap<(DomainName, RType), Entry>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl TtlCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up live records for (`name`, `rtype`) at virtual time `now`.
+    pub fn get(
+        &self,
+        now: SimTime,
+        name: &DomainName,
+        rtype: RType,
+    ) -> Option<Vec<ResourceRecord>> {
+        let mut entries = self.entries.lock();
+        let key = (name.clone(), rtype);
+        match entries.get(&key) {
+            Some(entry) if entry.expires_at > now => {
+                self.stats.lock().hits += 1;
+                Some(entry.records.clone())
+            }
+            Some(_) => {
+                entries.remove(&key);
+                let mut stats = self.stats.lock();
+                stats.misses += 1;
+                stats.expirations += 1;
+                None
+            }
+            None => {
+                self.stats.lock().misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts records, valid for the minimum TTL among them.
+    ///
+    /// Empty record sets are not cached (negative caching is not modelled,
+    /// as in 1987 BIND).
+    pub fn insert(
+        &self,
+        now: SimTime,
+        name: DomainName,
+        rtype: RType,
+        records: Vec<ResourceRecord>,
+    ) {
+        let Some(min_ttl) = records.iter().map(|r| r.ttl).min() else {
+            return;
+        };
+        let expires_at = now + SimDuration::from_ms(u64::from(min_ttl) * 1000);
+        self.entries.lock().insert(
+            (name, rtype),
+            Entry {
+                records,
+                expires_at,
+            },
+        );
+    }
+
+    /// Removes everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Number of entries (live or not yet observed as expired).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Resets statistics (e.g. between experiment trials).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::{HostId, NetAddr};
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).expect("valid name")
+    }
+
+    fn rr(ttl: u32) -> ResourceRecord {
+        ResourceRecord::a(name("fiji.cs.washington.edu"), ttl, NetAddr::of(HostId(1)))
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let c = TtlCache::new();
+        let t0 = SimTime::ZERO;
+        c.insert(t0, name("fiji.cs.washington.edu"), RType::A, vec![rr(60)]);
+        let got = c.get(t0, &name("fiji.cs.washington.edu"), RType::A);
+        assert_eq!(got.expect("hit").len(), 1);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn expiry_is_enforced() {
+        let c = TtlCache::new();
+        let t0 = SimTime::ZERO;
+        c.insert(t0, name("a.b"), RType::A, vec![rr(1)]); // 1 second TTL
+        let just_before = SimTime::from_ms(999);
+        assert!(c.get(just_before, &name("a.b"), RType::A).is_some());
+        let after = SimTime::from_ms(1_001);
+        assert!(c.get(after, &name("a.b"), RType::A).is_none());
+        assert_eq!(c.stats().expirations, 1);
+        assert!(c.is_empty(), "expired entry must be evicted");
+    }
+
+    #[test]
+    fn min_ttl_governs_mixed_sets() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(1), rr(100)]);
+        assert!(c
+            .get(SimTime::from_ms(2_000), &name("a.b"), RType::A)
+            .is_none());
+    }
+
+    #[test]
+    fn empty_sets_are_not_cached() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn miss_on_absent_key_and_type() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(60)]);
+        assert!(c.get(SimTime::ZERO, &name("c.d"), RType::A).is_none());
+        assert!(c.get(SimTime::ZERO, &name("a.b"), RType::Txt).is_none());
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn hit_rate_and_reset() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(60)]);
+        let _ = c.get(SimTime::ZERO, &name("a.b"), RType::A);
+        let _ = c.get(SimTime::ZERO, &name("x.y"), RType::A);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(60)]);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

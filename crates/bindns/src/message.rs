@@ -1,0 +1,278 @@
+//! Wire messages for the name-server protocol.
+//!
+//! The server speaks four procedures: `QUERY`, `AXFR` (zone transfer),
+//! `UPDATE` (the dynamic-update extension of the modified BIND), and
+//! `SERIAL` (secondary refresh checks). Messages convert both to wire
+//! [`Value`]s (carried by the fabric, used by the HRPC interface to BIND)
+//! and to the hand-written [`wire::fast`] batch format (the standard
+//! resolver path of Table 3.2).
+
+use wire::fast::{decode_rr_batch, encode_rr_batch, WireRecord};
+use wire::{Value, WireResult};
+
+use crate::error::{NsError, NsResult, Rcode};
+use crate::name::DomainName;
+use crate::rr::{RData, RType, ResourceRecord};
+
+/// Procedure: look up records.
+pub const PROC_QUERY: u32 = 1;
+/// Procedure: transfer a whole zone.
+pub const PROC_AXFR: u32 = 2;
+/// Procedure: apply a dynamic update.
+pub const PROC_UPDATE: u32 = 3;
+/// Procedure: read a zone's serial.
+pub const PROC_SERIAL: u32 = 4;
+
+/// A lookup question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Name being queried.
+    pub name: DomainName,
+    /// Record type requested.
+    pub rtype: RType,
+}
+
+impl Question {
+    /// Builds a question.
+    pub fn new(name: DomainName, rtype: RType) -> Self {
+        Question { name, rtype }
+    }
+
+    /// Serializes to a wire value.
+    pub fn to_value(&self) -> Value {
+        Value::record(vec![
+            ("name", Value::str(self.name.to_string())),
+            ("rtype", Value::U32(self.rtype.code() as u32)),
+        ])
+    }
+
+    /// Deserializes from a wire value.
+    pub fn from_value(v: &Value) -> NsResult<Question> {
+        let name = DomainName::parse(
+            v.str_field("name")
+                .map_err(|e| NsError::BadName(e.to_string()))?,
+        )?;
+        let rtype = RType::from_code(
+            v.u32_field("rtype")
+                .map_err(|e| NsError::BadRecord(e.to_string()))? as u16,
+        )?;
+        Ok(Question { name, rtype })
+    }
+}
+
+/// A lookup answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Outcome code.
+    pub rcode: Rcode,
+    /// Matching records (empty unless `rcode` is [`Rcode::Ok`]).
+    pub records: Vec<ResourceRecord>,
+}
+
+impl Answer {
+    /// Builds a successful answer.
+    pub fn ok(records: Vec<ResourceRecord>) -> Self {
+        Answer {
+            rcode: Rcode::Ok,
+            records,
+        }
+    }
+
+    /// Builds an error answer.
+    pub fn err(rcode: Rcode) -> Self {
+        Answer {
+            rcode,
+            records: Vec::new(),
+        }
+    }
+
+    /// Maps a lookup result into an answer.
+    pub fn from_result(result: NsResult<Vec<ResourceRecord>>) -> Answer {
+        match result {
+            Ok(records) => Answer::ok(records),
+            Err(NsError::NameError(_)) => Answer::err(Rcode::NameError),
+            Err(NsError::NoData(_)) => Answer::err(Rcode::NoData),
+            Err(NsError::NotAuthoritative(_)) => Answer::err(Rcode::NotAuth),
+            Err(NsError::UpdatesDisabled) | Err(NsError::Conflict(_)) => {
+                Answer::err(Rcode::Refused)
+            }
+            Err(_) => Answer::err(Rcode::FormErr),
+        }
+    }
+
+    /// Converts back into a lookup result for `question`.
+    pub fn into_result(self, question: &Question) -> NsResult<Vec<ResourceRecord>> {
+        match self.rcode {
+            Rcode::Ok => Ok(self.records),
+            Rcode::NameError => Err(NsError::NameError(question.name.to_string())),
+            Rcode::NoData => Err(NsError::NoData(question.name.to_string())),
+            Rcode::NotAuth => Err(NsError::NotAuthoritative(question.name.to_string())),
+            Rcode::Refused => Err(NsError::UpdatesDisabled),
+            Rcode::FormErr => Err(NsError::BadRecord("server rejected request".into())),
+            // Callers that do not chase referrals treat one as "not here".
+            Rcode::Referral => Err(NsError::NotAuthoritative(question.name.to_string())),
+        }
+    }
+
+    /// Serializes to a wire value (the HRPC path).
+    pub fn to_value(&self) -> NsResult<Value> {
+        let records: NsResult<Vec<Value>> =
+            self.records.iter().map(ResourceRecord::to_value).collect();
+        Ok(Value::record(vec![
+            ("rcode", Value::U32(self.rcode as u32)),
+            ("answers", Value::List(records?)),
+        ]))
+    }
+
+    /// Deserializes from a wire value.
+    pub fn from_value(v: &Value) -> NsResult<Answer> {
+        let code = v
+            .u32_field("rcode")
+            .map_err(|e| NsError::BadRecord(e.to_string()))?;
+        let rcode =
+            Rcode::from_u32(code).ok_or_else(|| NsError::BadRecord(format!("bad rcode {code}")))?;
+        let list = v
+            .field("answers")
+            .and_then(Value::as_list)
+            .map_err(|e| NsError::BadRecord(e.to_string()))?;
+        let records: NsResult<Vec<ResourceRecord>> =
+            list.iter().map(ResourceRecord::from_value).collect();
+        Ok(Answer {
+            rcode,
+            records: records?,
+        })
+    }
+
+    /// Serializes through the hand-written fast path. All records must
+    /// share one owner name (true for every standard lookup reply).
+    pub fn to_fast_bytes(&self) -> WireResult<Vec<u8>> {
+        let owner = self
+            .records
+            .first()
+            .map(|r| r.name.to_string())
+            .unwrap_or_default();
+        let wire_records: Vec<WireRecord> = self
+            .records
+            .iter()
+            .map(|r| {
+                Ok(WireRecord {
+                    rtype: r.rtype.code(),
+                    ttl: r.ttl,
+                    rdata: r
+                        .rdata
+                        .to_bytes()
+                        .map_err(|_| wire::WireError::Oversize(0))?,
+                })
+            })
+            .collect::<WireResult<_>>()?;
+        let mut prefixed = vec![self.rcode as u8];
+        prefixed.extend(encode_rr_batch(&owner, &wire_records)?);
+        Ok(prefixed)
+    }
+
+    /// Deserializes from the fast path.
+    pub fn from_fast_bytes(bytes: &[u8]) -> NsResult<Answer> {
+        let (&code, rest) = bytes
+            .split_first()
+            .ok_or_else(|| NsError::BadRecord("empty fast answer".into()))?;
+        let rcode = Rcode::from_u32(code as u32)
+            .ok_or_else(|| NsError::BadRecord(format!("bad rcode {code}")))?;
+        let (owner, wire_records) =
+            decode_rr_batch(rest).map_err(|e| NsError::BadRecord(e.to_string()))?;
+        let name = if owner.is_empty() {
+            DomainName::root()
+        } else {
+            DomainName::parse(&owner)?
+        };
+        let records: NsResult<Vec<ResourceRecord>> = wire_records
+            .into_iter()
+            .map(|w| {
+                Ok(ResourceRecord {
+                    name: name.clone(),
+                    rtype: RType::from_code(w.rtype)?,
+                    ttl: w.ttl,
+                    rdata: RData::from_bytes(&w.rdata)?,
+                })
+            })
+            .collect();
+        Ok(Answer {
+            rcode,
+            records: records?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::{HostId, NetAddr};
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).expect("valid name")
+    }
+
+    fn sample_answer(n: usize) -> Answer {
+        let owner = name("fiji.cs.washington.edu");
+        Answer::ok(
+            (0..n)
+                .map(|i| ResourceRecord::a(owner.clone(), 3600, NetAddr::of(HostId(i as u32))))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn question_value_roundtrip() {
+        let q = Question::new(name("fiji.cs.washington.edu"), RType::A);
+        assert_eq!(Question::from_value(&q.to_value()).expect("roundtrip"), q);
+    }
+
+    #[test]
+    fn answer_value_roundtrip() {
+        for n in [0usize, 1, 6] {
+            let a = sample_answer(n);
+            let v = a.to_value().expect("to value");
+            assert_eq!(Answer::from_value(&v).expect("from value"), a);
+        }
+    }
+
+    #[test]
+    fn answer_fast_roundtrip() {
+        for n in [0usize, 1, 6] {
+            let a = sample_answer(n);
+            let bytes = a.to_fast_bytes().expect("fast encode");
+            assert_eq!(Answer::from_fast_bytes(&bytes).expect("fast decode"), a);
+        }
+    }
+
+    #[test]
+    fn error_answers_roundtrip_to_results() {
+        let q = Question::new(name("missing.cs.washington.edu"), RType::A);
+        let cases = vec![
+            (NsError::NameError("x".into()), Rcode::NameError),
+            (NsError::NoData("x".into()), Rcode::NoData),
+            (NsError::NotAuthoritative("x".into()), Rcode::NotAuth),
+            (NsError::UpdatesDisabled, Rcode::Refused),
+        ];
+        for (err, rcode) in cases {
+            let a = Answer::from_result(Err(err));
+            assert_eq!(a.rcode, rcode);
+            assert!(a.clone().into_result(&q).is_err());
+            // And through the wire.
+            let v = a.to_value().expect("to value");
+            assert_eq!(Answer::from_value(&v).expect("from value").rcode, rcode);
+        }
+    }
+
+    #[test]
+    fn ok_answer_into_result_returns_records() {
+        let q = Question::new(name("fiji.cs.washington.edu"), RType::A);
+        let a = sample_answer(2);
+        assert_eq!(a.into_result(&q).expect("ok").len(), 2);
+    }
+
+    #[test]
+    fn malformed_fast_bytes_rejected() {
+        assert!(Answer::from_fast_bytes(&[]).is_err());
+        assert!(Answer::from_fast_bytes(&[99, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Iterative resolution across delegated zones.
+//!
+//! The flat HCS testbed needs only one public BIND, but real BIND
+//! deployments form a delegation tree: a parent zone holds `NS` records at
+//! each zone cut and glue addresses for the delegated servers. The
+//! [`RecursiveResolver`] starts at a configured root server and chases
+//! referrals downward until an authoritative answer arrives.
+
+use std::sync::Arc;
+
+use simnet::topology::HostId;
+
+use hrpc::error::{RpcError, RpcResult};
+use hrpc::net::RpcNet;
+use hrpc::{ComponentSet, HrpcBinding};
+
+use crate::cache::TtlCache;
+use crate::error::Rcode;
+use crate::message::{Answer, Question, PROC_QUERY};
+use crate::name::DomainName;
+use crate::rr::{RData, RType, ResourceRecord};
+use crate::server::DNS_PORT;
+
+/// Maximum referrals chased before reporting a delegation loop.
+pub const MAX_REFERRALS: usize = 8;
+
+/// A resolver that chases referrals from a root server.
+pub struct RecursiveResolver {
+    net: Arc<RpcNet>,
+    host: HostId,
+    root: HrpcBinding,
+    cache: TtlCache,
+}
+
+impl RecursiveResolver {
+    /// Creates a resolver on `host` rooted at `root` (a native-DNS
+    /// binding of the topmost server).
+    pub fn new(net: Arc<RpcNet>, host: HostId, root: HrpcBinding) -> Self {
+        RecursiveResolver {
+            net,
+            host,
+            root,
+            cache: TtlCache::new(),
+        }
+    }
+
+    fn ask(&self, server: &HrpcBinding, question: &Question) -> RpcResult<Answer> {
+        let reply = self
+            .net
+            .call(self.host, server, PROC_QUERY, &question.to_value())?;
+        let answer = Answer::from_value(&reply).map_err(|e| RpcError::Service(e.to_string()))?;
+        let world = self.net.world();
+        world.charge_ms(world.costs.fast_marshal(answer.records.len().max(1)));
+        Ok(answer)
+    }
+
+    /// Picks the next server from a referral's NS + glue records.
+    fn next_server(&self, referral: &[ResourceRecord]) -> RpcResult<HrpcBinding> {
+        for rr in referral.iter().filter(|r| r.rtype == RType::Ns) {
+            let RData::Domain(target) = &rr.rdata else {
+                continue;
+            };
+            // Glue: an A record for the target among the referral records.
+            let glue = referral
+                .iter()
+                .find(|g| g.rtype == RType::A && g.name == *target);
+            if let Some(glue) = glue {
+                if let RData::Addr(addr) = &glue.rdata {
+                    return Ok(HrpcBinding {
+                        host: addr.host,
+                        addr: *addr,
+                        program: crate::server::BIND_PROGRAM,
+                        port: DNS_PORT,
+                        components: ComponentSet::native_dns(DNS_PORT),
+                    });
+                }
+            }
+        }
+        Err(RpcError::Service("referral without usable glue".into()))
+    }
+
+    /// Resolves `name`/`rtype`, chasing up to [`MAX_REFERRALS`] referrals.
+    pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Vec<ResourceRecord>> {
+        let world = Arc::clone(self.net.world());
+        world.charge_ms(world.costs.cache_probe);
+        if let Some(records) = self.cache.get(world.now(), name, rtype) {
+            world.charge_ms(
+                world
+                    .costs
+                    .cache_hit(simnet::CacheForm::Demarshalled, records.len()),
+            );
+            return Ok(records);
+        }
+        let question = Question::new(name.clone(), rtype);
+        let mut server = self.root;
+        for _ in 0..MAX_REFERRALS {
+            let answer = self.ask(&server, &question)?;
+            match answer.rcode {
+                Rcode::Referral => {
+                    server = self.next_server(&answer.records)?;
+                }
+                _ => {
+                    let records = answer.into_result(&question).map_err(|e| match e {
+                        crate::error::NsError::NameError(n) | crate::error::NsError::NoData(n) => {
+                            RpcError::NotFound(n)
+                        }
+                        other => RpcError::Service(other.to_string()),
+                    })?;
+                    self.cache
+                        .insert(world.now(), name.clone(), rtype, records.clone());
+                    return Ok(records);
+                }
+            }
+        }
+        Err(RpcError::Service(format!(
+            "more than {MAX_REFERRALS} referrals resolving {name}"
+        )))
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl std::fmt::Debug for RecursiveResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecursiveResolver")
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{deploy, single_zone_server};
+    use crate::zone::Zone;
+    use simnet::topology::NetAddr;
+    use simnet::world::World;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).expect("valid name")
+    }
+
+    /// Builds a three-level delegation: root("edu") -> washington.edu ->
+    /// cs.washington.edu, each zone on its own server.
+    fn tree() -> (Arc<World>, Arc<RpcNet>, HostId, HrpcBinding, HostId) {
+        let world = World::paper();
+        let client = world.add_host("client");
+        let root_host = world.add_host("a.root-servers.net");
+        let uw_host = world.add_host("ns.washington.edu");
+        let cs_host = world.add_host("ns.cs.washington.edu");
+        let fiji = world.add_host("fiji.cs.washington.edu");
+        let net = RpcNet::new(Arc::clone(&world));
+
+        let mut root_zone = Zone::new(name("edu"), 86_400);
+        root_zone
+            .add(ResourceRecord {
+                name: name("washington.edu"),
+                rtype: RType::Ns,
+                ttl: 86_400,
+                rdata: RData::Domain(name("ns.washington.edu")),
+            })
+            .expect("ns");
+        root_zone
+            .add(ResourceRecord::a(
+                name("ns.washington.edu"),
+                86_400,
+                NetAddr::of(uw_host),
+            ))
+            .expect("glue");
+        let root_dep = deploy(
+            &net,
+            root_host,
+            single_zone_server("root", root_zone, false),
+        );
+
+        let mut uw_zone = Zone::new(name("washington.edu"), 86_400);
+        uw_zone
+            .add(ResourceRecord {
+                name: name("cs.washington.edu"),
+                rtype: RType::Ns,
+                ttl: 86_400,
+                rdata: RData::Domain(name("ns.cs.washington.edu")),
+            })
+            .expect("ns");
+        uw_zone
+            .add(ResourceRecord::a(
+                name("ns.cs.washington.edu"),
+                86_400,
+                NetAddr::of(cs_host),
+            ))
+            .expect("glue");
+        uw_zone
+            .add(ResourceRecord::a(
+                name("www.washington.edu"),
+                3600,
+                NetAddr::of(uw_host),
+            ))
+            .expect("own data");
+        deploy(&net, uw_host, single_zone_server("uw", uw_zone, false));
+
+        let mut cs_zone = Zone::new(name("cs.washington.edu"), 86_400);
+        cs_zone
+            .add(ResourceRecord::a(
+                name("fiji.cs.washington.edu"),
+                3600,
+                NetAddr::of(fiji),
+            ))
+            .expect("leaf");
+        deploy(&net, cs_host, single_zone_server("cs", cs_zone, false));
+
+        (world, net, client, root_dep.std_binding, fiji)
+    }
+
+    #[test]
+    fn resolves_through_two_referrals() {
+        let (world, net, client, root, fiji) = tree();
+        let resolver = RecursiveResolver::new(net, client, root);
+        let (records, took, delta) =
+            world.measure(|| resolver.query(&name("fiji.cs.washington.edu"), RType::A));
+        let records = records.expect("resolved");
+        assert_eq!(records.len(), 1);
+        match &records[0].rdata {
+            RData::Addr(addr) => assert_eq!(addr.host, fiji),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Three servers were consulted: root, uw, cs.
+        assert_eq!(delta.remote_calls, 3);
+        assert_eq!(delta.ns_lookups, 3);
+        assert!(took.as_ms_f64() > 3.0 * 26.0, "took {took}");
+    }
+
+    #[test]
+    fn mid_tree_data_needs_one_referral() {
+        let (_world, net, client, root, _) = tree();
+        let resolver = RecursiveResolver::new(net, client, root);
+        let records = resolver
+            .query(&name("www.washington.edu"), RType::A)
+            .expect("resolved");
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn missing_leaf_reports_not_found_from_authoritative_server() {
+        let (_world, net, client, root, _) = tree();
+        let resolver = RecursiveResolver::new(net, client, root);
+        assert!(matches!(
+            resolver.query(&name("ghost.cs.washington.edu"), RType::A),
+            Err(RpcError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn answers_are_cached() {
+        let (world, net, client, root, _) = tree();
+        let resolver = RecursiveResolver::new(net, client, root);
+        resolver
+            .query(&name("fiji.cs.washington.edu"), RType::A)
+            .expect("cold");
+        let (r, took, delta) =
+            world.measure(|| resolver.query(&name("fiji.cs.washington.edu"), RType::A));
+        assert!(r.is_ok());
+        assert_eq!(delta.remote_calls, 0);
+        assert!(took.as_ms_f64() < 2.0);
+        assert_eq!(resolver.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn delegation_loop_is_bounded() {
+        // A zone that delegates to itself: ns records point back at the
+        // same server.
+        let world = World::paper();
+        let client = world.add_host("client");
+        let evil_host = world.add_host("evil");
+        let net = RpcNet::new(Arc::clone(&world));
+        let mut zone = Zone::new(name("edu"), 60);
+        zone.add(ResourceRecord {
+            name: name("loop.edu"),
+            rtype: RType::Ns,
+            ttl: 60,
+            rdata: RData::Domain(name("ns.loop.edu")),
+        })
+        .expect("ns");
+        zone.add(ResourceRecord::a(
+            name("ns.loop.edu"),
+            60,
+            NetAddr::of(evil_host),
+        ))
+        .expect("glue");
+        let dep = deploy(&net, evil_host, single_zone_server("evil", zone, false));
+        let resolver = RecursiveResolver::new(net, client, dep.std_binding);
+        let err = resolver.query(&name("x.loop.edu"), RType::A).unwrap_err();
+        assert!(err.to_string().contains("referrals"), "{err}");
+    }
+
+    #[test]
+    fn referral_without_glue_fails_cleanly() {
+        let world = World::paper();
+        let client = world.add_host("client");
+        let host = world.add_host("server");
+        let net = RpcNet::new(Arc::clone(&world));
+        let mut zone = Zone::new(name("edu"), 60);
+        zone.add(ResourceRecord {
+            name: name("gap.edu"),
+            rtype: RType::Ns,
+            ttl: 60,
+            rdata: RData::Domain(name("ns.elsewhere.org")),
+        })
+        .expect("ns without glue");
+        let dep = deploy(&net, host, single_zone_server("gapped", zone, false));
+        let resolver = RecursiveResolver::new(net, client, dep.std_binding);
+        let err = resolver.query(&name("x.gap.edu"), RType::A).unwrap_err();
+        assert!(err.to_string().contains("glue"), "{err}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Resource records.
+//!
+//! "BIND data is stored as a collection of resource records, each of which
+//! can be up to 256 bytes of data. Separate resource records are intended
+//! to store alternate data for one name, e.g., multiple network addresses
+//! for gateway hosts."
+//!
+//! The `UNSPEC` type is the extension of the paper's modified BIND, which
+//! was altered "to support both dynamic updates and also data of
+//! unspecified type" so it could serve as the HNS meta-naming repository.
+
+use simnet::topology::{HostId, NetAddr};
+use wire::Value;
+
+use crate::error::{NsError, NsResult};
+use crate::name::DomainName;
+
+/// Maximum rdata size per record.
+pub const MAX_RDATA: usize = 256;
+
+/// Record type codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RType {
+    /// Host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias target).
+    Cname,
+    /// Arbitrary text.
+    Txt,
+    /// Host information (CPU and OS).
+    Hinfo,
+    /// Well-known services.
+    Wks,
+    /// Mail exchanger.
+    Mx,
+    /// Start of authority.
+    Soa,
+    /// Data of unspecified type (the HNS meta-information extension).
+    Unspec,
+}
+
+impl RType {
+    /// Wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RType::A => 1,
+            RType::Ns => 2,
+            RType::Cname => 5,
+            RType::Soa => 6,
+            RType::Wks => 11,
+            RType::Hinfo => 13,
+            RType::Mx => 15,
+            RType::Txt => 16,
+            RType::Unspec => 103,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u16) -> NsResult<RType> {
+        match code {
+            1 => Ok(RType::A),
+            2 => Ok(RType::Ns),
+            5 => Ok(RType::Cname),
+            6 => Ok(RType::Soa),
+            11 => Ok(RType::Wks),
+            13 => Ok(RType::Hinfo),
+            15 => Ok(RType::Mx),
+            16 => Ok(RType::Txt),
+            103 => Ok(RType::Unspec),
+            other => Err(NsError::BadRecord(format!("unknown rtype code {other}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for RType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RType::A => "A",
+            RType::Ns => "NS",
+            RType::Cname => "CNAME",
+            RType::Soa => "SOA",
+            RType::Wks => "WKS",
+            RType::Hinfo => "HINFO",
+            RType::Mx => "MX",
+            RType::Txt => "TXT",
+            RType::Unspec => "UNSPEC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// A network address (for `A` records).
+    Addr(NetAddr),
+    /// A domain name (for `NS`, `CNAME`, `MX` targets).
+    Domain(DomainName),
+    /// Text (for `TXT`, `HINFO`).
+    Text(String),
+    /// Opaque bytes (for `WKS`, `UNSPEC`).
+    Opaque(Vec<u8>),
+    /// Start-of-authority payload.
+    Soa {
+        /// Primary server host name.
+        primary: DomainName,
+        /// Zone serial number.
+        serial: u32,
+        /// Default TTL for the zone, seconds.
+        default_ttl: u32,
+    },
+}
+
+impl RData {
+    /// Serializes to rdata bytes (bounded by [`MAX_RDATA`]).
+    pub fn to_bytes(&self) -> NsResult<Vec<u8>> {
+        let bytes = match self {
+            RData::Addr(addr) => {
+                let mut b = vec![0u8];
+                b.extend_from_slice(&addr.host.0.to_be_bytes());
+                b
+            }
+            RData::Domain(name) => {
+                let mut b = vec![1u8];
+                b.extend_from_slice(name.to_string().as_bytes());
+                b
+            }
+            RData::Text(s) => {
+                let mut b = vec![2u8];
+                b.extend_from_slice(s.as_bytes());
+                b
+            }
+            RData::Opaque(data) => {
+                let mut b = vec![3u8];
+                b.extend_from_slice(data);
+                b
+            }
+            RData::Soa {
+                primary,
+                serial,
+                default_ttl,
+            } => {
+                let mut b = vec![4u8];
+                b.extend_from_slice(&serial.to_be_bytes());
+                b.extend_from_slice(&default_ttl.to_be_bytes());
+                b.extend_from_slice(primary.to_string().as_bytes());
+                b
+            }
+        };
+        if bytes.len() > MAX_RDATA {
+            return Err(NsError::BadRecord(format!(
+                "rdata {} bytes exceeds {MAX_RDATA}",
+                bytes.len()
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// Deserializes rdata bytes.
+    pub fn from_bytes(bytes: &[u8]) -> NsResult<RData> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or_else(|| NsError::BadRecord("empty rdata".into()))?;
+        match tag {
+            0 => {
+                let arr: [u8; 4] = rest
+                    .try_into()
+                    .map_err(|_| NsError::BadRecord("bad A rdata".into()))?;
+                Ok(RData::Addr(NetAddr::of(HostId(u32::from_be_bytes(arr)))))
+            }
+            1 => {
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| NsError::BadRecord("bad domain rdata".into()))?;
+                Ok(RData::Domain(DomainName::parse(s)?))
+            }
+            2 => {
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| NsError::BadRecord("bad text rdata".into()))?;
+                Ok(RData::Text(s.to_string()))
+            }
+            3 => Ok(RData::Opaque(rest.to_vec())),
+            4 => {
+                if rest.len() < 8 {
+                    return Err(NsError::BadRecord("short SOA rdata".into()));
+                }
+                let serial = u32::from_be_bytes(rest[0..4].try_into().expect("4 bytes"));
+                let default_ttl = u32::from_be_bytes(rest[4..8].try_into().expect("4 bytes"));
+                let s = std::str::from_utf8(&rest[8..])
+                    .map_err(|_| NsError::BadRecord("bad SOA primary".into()))?;
+                Ok(RData::Soa {
+                    primary: DomainName::parse(s)?,
+                    serial,
+                    default_ttl,
+                })
+            }
+            other => Err(NsError::BadRecord(format!("unknown rdata tag {other}"))),
+        }
+    }
+}
+
+/// One resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: DomainName,
+    /// Record type.
+    pub rtype: RType,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Payload.
+    pub rdata: RData,
+}
+
+impl ResourceRecord {
+    /// Builds an `A` record.
+    pub fn a(name: DomainName, ttl: u32, addr: NetAddr) -> Self {
+        ResourceRecord {
+            name,
+            rtype: RType::A,
+            ttl,
+            rdata: RData::Addr(addr),
+        }
+    }
+
+    /// Builds a `TXT` record.
+    pub fn txt(name: DomainName, ttl: u32, text: impl Into<String>) -> Self {
+        ResourceRecord {
+            name,
+            rtype: RType::Txt,
+            ttl,
+            rdata: RData::Text(text.into()),
+        }
+    }
+
+    /// Builds an `UNSPEC` record carrying opaque bytes.
+    pub fn unspec(name: DomainName, ttl: u32, data: Vec<u8>) -> Self {
+        ResourceRecord {
+            name,
+            rtype: RType::Unspec,
+            ttl,
+            rdata: RData::Opaque(data),
+        }
+    }
+
+    /// Builds a `CNAME` record.
+    pub fn cname(name: DomainName, ttl: u32, target: DomainName) -> Self {
+        ResourceRecord {
+            name,
+            rtype: RType::Cname,
+            ttl,
+            rdata: RData::Domain(target),
+        }
+    }
+
+    /// Serializes to a wire value (used by the HRPC interface to BIND).
+    pub fn to_value(&self) -> NsResult<Value> {
+        Ok(Value::record(vec![
+            ("name", Value::str(self.name.to_string())),
+            ("rtype", Value::U32(self.rtype.code() as u32)),
+            ("ttl", Value::U32(self.ttl)),
+            ("rdata", Value::Bytes(self.rdata.to_bytes()?)),
+        ]))
+    }
+
+    /// Deserializes from a wire value.
+    pub fn from_value(v: &Value) -> NsResult<ResourceRecord> {
+        fn get<T>(r: Result<T, wire::WireError>) -> NsResult<T> {
+            r.map_err(|e| NsError::BadRecord(e.to_string()))
+        }
+        let name = DomainName::parse(get(v.str_field("name"))?)?;
+        let rtype = RType::from_code(get(v.u32_field("rtype"))? as u16)?;
+        let ttl = get(v.u32_field("ttl"))?;
+        let rdata_bytes = get(get(v.field("rdata"))?.as_bytes())?;
+        Ok(ResourceRecord {
+            name,
+            rtype,
+            ttl,
+            rdata: RData::from_bytes(rdata_bytes)?,
+        })
+    }
+
+    /// Approximate stored size in bytes (for zone-transfer costing).
+    pub fn size_bytes(&self) -> usize {
+        self.name.wire_len() + 8 + self.rdata.to_bytes().map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).expect("valid name")
+    }
+
+    #[test]
+    fn rtype_codes_roundtrip() {
+        for t in [
+            RType::A,
+            RType::Ns,
+            RType::Cname,
+            RType::Soa,
+            RType::Wks,
+            RType::Hinfo,
+            RType::Mx,
+            RType::Txt,
+            RType::Unspec,
+        ] {
+            assert_eq!(RType::from_code(t.code()).expect("roundtrip"), t);
+        }
+        assert!(RType::from_code(999).is_err());
+    }
+
+    #[test]
+    fn rdata_roundtrips() {
+        let cases = vec![
+            RData::Addr(NetAddr::of(HostId(7))),
+            RData::Domain(name("ns.cs.washington.edu")),
+            RData::Text("VAX-II / Unix".into()),
+            RData::Opaque(vec![1, 2, 3]),
+            RData::Soa {
+                primary: name("ns.cs.washington.edu"),
+                serial: 42,
+                default_ttl: 3600,
+            },
+        ];
+        for rdata in cases {
+            let bytes = rdata.to_bytes().expect("encode");
+            assert_eq!(RData::from_bytes(&bytes).expect("decode"), rdata);
+        }
+    }
+
+    #[test]
+    fn oversized_rdata_rejected() {
+        let rdata = RData::Opaque(vec![0; MAX_RDATA]);
+        assert!(rdata.to_bytes().is_err());
+        let ok = RData::Opaque(vec![0; MAX_RDATA - 1]);
+        assert!(ok.to_bytes().is_ok());
+    }
+
+    #[test]
+    fn record_value_roundtrip() {
+        let rr = ResourceRecord::a(
+            name("fiji.cs.washington.edu"),
+            86_400,
+            NetAddr::of(HostId(3)),
+        );
+        let v = rr.to_value().expect("to value");
+        assert_eq!(ResourceRecord::from_value(&v).expect("from value"), rr);
+    }
+
+    #[test]
+    fn unspec_record_value_roundtrip() {
+        let rr = ResourceRecord::unspec(name("hns-meta.hns"), 600, b"ns=BIND".to_vec());
+        let v = rr.to_value().expect("to value");
+        assert_eq!(ResourceRecord::from_value(&v).expect("from value"), rr);
+    }
+
+    #[test]
+    fn malformed_rdata_rejected() {
+        assert!(RData::from_bytes(&[]).is_err());
+        assert!(RData::from_bytes(&[0, 1]).is_err()); // short A
+        assert!(RData::from_bytes(&[9, 0]).is_err()); // unknown tag
+        assert!(RData::from_bytes(&[4, 0, 0]).is_err()); // short SOA
+        assert!(RData::from_bytes(&[1, 0xFF]).is_err()); // bad UTF-8 domain
+    }
+
+    #[test]
+    fn size_reflects_contents() {
+        let small = ResourceRecord::txt(name("a.b"), 60, "x");
+        let large = ResourceRecord::txt(name("a.b"), 60, "x".repeat(200));
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn builders_set_types() {
+        assert_eq!(
+            ResourceRecord::cname(name("a.b"), 1, name("c.d")).rtype,
+            RType::Cname
+        );
+        assert_eq!(ResourceRecord::txt(name("a.b"), 1, "t").rtype, RType::Txt);
+        assert_eq!(
+            ResourceRecord::unspec(name("a.b"), 1, vec![]).rtype,
+            RType::Unspec
+        );
+    }
+}

@@ -1,0 +1,458 @@
+//! Authoritative zones.
+
+use std::collections::BTreeMap;
+
+use crate::error::{NsError, NsResult};
+use crate::name::DomainName;
+use crate::rr::{RData, RType, ResourceRecord};
+
+/// An authoritative zone: a subtree of the domain space with a serial
+/// number that advances on every mutation (the basis of zone transfer).
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: DomainName,
+    serial: u32,
+    default_ttl: u32,
+    records: BTreeMap<DomainName, Vec<ResourceRecord>>,
+}
+
+impl Zone {
+    /// Creates an empty zone.
+    pub fn new(origin: DomainName, default_ttl: u32) -> Self {
+        Zone {
+            origin,
+            serial: 1,
+            default_ttl,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &DomainName {
+        &self.origin
+    }
+
+    /// Current serial number.
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// Default TTL applied by [`Zone::add_with_default_ttl`].
+    pub fn default_ttl(&self) -> u32 {
+        self.default_ttl
+    }
+
+    /// True if `name` falls within this zone.
+    pub fn contains(&self, name: &DomainName) -> bool {
+        name.is_within(&self.origin)
+    }
+
+    /// Adds a record, bumping the serial.
+    ///
+    /// At most one `CNAME` may exist at a name, and a `CNAME` may not
+    /// coexist with other data (the classic BIND rule).
+    pub fn add(&mut self, rr: ResourceRecord) -> NsResult<()> {
+        if !self.contains(&rr.name) {
+            return Err(NsError::NotAuthoritative(rr.name.to_string()));
+        }
+        // Validate rdata size eagerly.
+        rr.rdata.to_bytes()?;
+        let set = self.records.entry(rr.name.clone()).or_default();
+        let has_cname = set.iter().any(|r| r.rtype == RType::Cname);
+        if rr.rtype == RType::Cname && !set.is_empty() {
+            return Err(NsError::Conflict(format!(
+                "CNAME cannot coexist at {}",
+                rr.name
+            )));
+        }
+        if has_cname {
+            return Err(NsError::Conflict(format!(
+                "{} already holds a CNAME",
+                rr.name
+            )));
+        }
+        set.push(rr);
+        self.serial += 1;
+        Ok(())
+    }
+
+    /// Adds a record with the zone's default TTL.
+    pub fn add_with_default_ttl(&mut self, mut rr: ResourceRecord) -> NsResult<()> {
+        rr.ttl = self.default_ttl;
+        self.add(rr)
+    }
+
+    /// Removes all records at `name` of type `rtype`; returns how many were
+    /// removed. Bumps the serial if anything changed.
+    pub fn remove(&mut self, name: &DomainName, rtype: RType) -> usize {
+        let mut removed = 0;
+        if let Some(set) = self.records.get_mut(name) {
+            let before = set.len();
+            set.retain(|r| r.rtype != rtype);
+            removed = before - set.len();
+            if set.is_empty() {
+                self.records.remove(name);
+            }
+        }
+        if removed > 0 {
+            self.serial += 1;
+        }
+        removed
+    }
+
+    /// Replaces the record set at (`name`, `rtype`) atomically.
+    pub fn replace(
+        &mut self,
+        name: &DomainName,
+        rtype: RType,
+        records: Vec<ResourceRecord>,
+    ) -> NsResult<()> {
+        self.remove(name, rtype);
+        for rr in records {
+            if rr.name != *name || rr.rtype != rtype {
+                return Err(NsError::BadRecord("replace set mismatch".into()));
+            }
+            self.add(rr)?;
+        }
+        self.serial += 1;
+        Ok(())
+    }
+
+    /// Looks up records of `rtype` at `name`, following at most one level
+    /// of `CNAME` indirection within the zone.
+    pub fn lookup(&self, name: &DomainName, rtype: RType) -> NsResult<Vec<ResourceRecord>> {
+        if !self.contains(name) {
+            return Err(NsError::NotAuthoritative(name.to_string()));
+        }
+        let set = self
+            .records
+            .get(name)
+            .ok_or_else(|| NsError::NameError(name.to_string()))?;
+        let matched: Vec<ResourceRecord> =
+            set.iter().filter(|r| r.rtype == rtype).cloned().collect();
+        if !matched.is_empty() {
+            return Ok(matched);
+        }
+        // CNAME chase (one level).
+        if rtype != RType::Cname {
+            if let Some(cname) = set.iter().find(|r| r.rtype == RType::Cname) {
+                if let RData::Domain(target) = &cname.rdata {
+                    if self.contains(target) {
+                        let mut result = vec![cname.clone()];
+                        if let Ok(mut chased) = self.lookup(target, rtype) {
+                            result.append(&mut chased);
+                        }
+                        return Ok(result);
+                    }
+                    return Ok(vec![cname.clone()]);
+                }
+            }
+        }
+        Err(NsError::NoData(name.to_string()))
+    }
+
+    /// Finds a delegation (zone cut) covering `name`, if any: the deepest
+    /// ancestor-or-self of `name` that lies strictly below the origin and
+    /// holds `NS` records. Returns the cut's `NS` records plus any glue
+    /// `A` records this zone holds for the named servers.
+    pub fn find_delegation(&self, name: &DomainName) -> Option<Vec<ResourceRecord>> {
+        let mut cursor = Some(name.clone());
+        let mut best: Option<Vec<ResourceRecord>> = None;
+        while let Some(candidate) = cursor {
+            if candidate.depth() <= self.origin.depth() {
+                break;
+            }
+            if let Some(set) = self.records.get(&candidate) {
+                let ns: Vec<ResourceRecord> = set
+                    .iter()
+                    .filter(|r| r.rtype == RType::Ns)
+                    .cloned()
+                    .collect();
+                if !ns.is_empty() {
+                    // Prefer the deepest cut; the first found walking up
+                    // from `name` is the deepest.
+                    if best.is_none() {
+                        best = Some(ns);
+                    }
+                }
+            }
+            cursor = candidate.parent();
+        }
+        best.map(|ns| {
+            let mut referral = ns;
+            let glue: Vec<ResourceRecord> = referral
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Domain(target) => self.records.get(target).map(|set| {
+                        set.iter()
+                            .filter(|g| g.rtype == RType::A)
+                            .cloned()
+                            .collect::<Vec<_>>()
+                    }),
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            referral.extend(glue);
+            referral
+        })
+    }
+
+    /// All records, in deterministic (name-sorted) order: the zone
+    /// transfer payload.
+    pub fn all_records(&self) -> Vec<ResourceRecord> {
+        self.records
+            .values()
+            .flat_map(|set| set.iter().cloned())
+            .collect()
+    }
+
+    /// Number of records in the zone.
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Total stored size in bytes (drives zone-transfer cost).
+    pub fn size_bytes(&self) -> usize {
+        self.records
+            .values()
+            .flat_map(|set| set.iter())
+            .map(ResourceRecord::size_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::{HostId, NetAddr};
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).expect("valid name")
+    }
+
+    fn zone() -> Zone {
+        Zone::new(name("cs.washington.edu"), 3600)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut z = zone();
+        let rr = ResourceRecord::a(name("fiji.cs.washington.edu"), 60, NetAddr::of(HostId(1)));
+        z.add(rr.clone()).expect("add");
+        let found = z
+            .lookup(&name("fiji.cs.washington.edu"), RType::A)
+            .expect("lookup");
+        assert_eq!(found, vec![rr]);
+    }
+
+    #[test]
+    fn serial_advances_on_mutation() {
+        let mut z = zone();
+        let s0 = z.serial();
+        z.add(ResourceRecord::txt(name("a.cs.washington.edu"), 60, "x"))
+            .expect("add");
+        assert!(z.serial() > s0);
+        let s1 = z.serial();
+        assert_eq!(z.remove(&name("a.cs.washington.edu"), RType::Txt), 1);
+        assert!(z.serial() > s1);
+        let s2 = z.serial();
+        assert_eq!(z.remove(&name("a.cs.washington.edu"), RType::Txt), 0);
+        assert_eq!(z.serial(), s2, "no-op remove must not bump serial");
+    }
+
+    #[test]
+    fn lookup_errors_distinguish_cases() {
+        let mut z = zone();
+        z.add(ResourceRecord::txt(name("a.cs.washington.edu"), 60, "x"))
+            .expect("add");
+        assert!(matches!(
+            z.lookup(&name("b.cs.washington.edu"), RType::A),
+            Err(NsError::NameError(_))
+        ));
+        assert!(matches!(
+            z.lookup(&name("a.cs.washington.edu"), RType::A),
+            Err(NsError::NoData(_))
+        ));
+        assert!(matches!(
+            z.lookup(&name("x.ee.washington.edu"), RType::A),
+            Err(NsError::NotAuthoritative(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_records_per_name() {
+        // "multiple network addresses for gateway hosts".
+        let mut z = zone();
+        let n = name("gateway.cs.washington.edu");
+        z.add(ResourceRecord::a(n.clone(), 60, NetAddr::of(HostId(1))))
+            .expect("add");
+        z.add(ResourceRecord::a(n.clone(), 60, NetAddr::of(HostId(2))))
+            .expect("add");
+        assert_eq!(z.lookup(&n, RType::A).expect("lookup").len(), 2);
+    }
+
+    #[test]
+    fn cname_chase_within_zone() {
+        let mut z = zone();
+        let alias = name("www.cs.washington.edu");
+        let target = name("fiji.cs.washington.edu");
+        z.add(ResourceRecord::cname(alias.clone(), 60, target.clone()))
+            .expect("add");
+        z.add(ResourceRecord::a(
+            target.clone(),
+            60,
+            NetAddr::of(HostId(5)),
+        ))
+        .expect("add");
+        let found = z.lookup(&alias, RType::A).expect("lookup");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].rtype, RType::Cname);
+        assert_eq!(found[1].rtype, RType::A);
+    }
+
+    #[test]
+    fn cname_exclusivity_enforced() {
+        let mut z = zone();
+        let n = name("x.cs.washington.edu");
+        z.add(ResourceRecord::txt(n.clone(), 60, "data"))
+            .expect("add");
+        assert!(matches!(
+            z.add(ResourceRecord::cname(
+                n.clone(),
+                60,
+                name("y.cs.washington.edu")
+            )),
+            Err(NsError::Conflict(_))
+        ));
+        let n2 = name("z.cs.washington.edu");
+        z.add(ResourceRecord::cname(
+            n2.clone(),
+            60,
+            name("y.cs.washington.edu"),
+        ))
+        .expect("add");
+        assert!(matches!(
+            z.add(ResourceRecord::txt(n2, 60, "data")),
+            Err(NsError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn replace_swaps_record_set() {
+        let mut z = zone();
+        let n = name("svc.cs.washington.edu");
+        z.add(ResourceRecord::txt(n.clone(), 60, "old"))
+            .expect("add");
+        z.replace(
+            &n,
+            RType::Txt,
+            vec![
+                ResourceRecord::txt(n.clone(), 60, "new1"),
+                ResourceRecord::txt(n.clone(), 60, "new2"),
+            ],
+        )
+        .expect("replace");
+        let found = z.lookup(&n, RType::Txt).expect("lookup");
+        assert_eq!(found.len(), 2);
+        assert!(found
+            .iter()
+            .all(|r| matches!(&r.rdata, RData::Text(t) if t.starts_with("new"))));
+    }
+
+    #[test]
+    fn replace_rejects_mismatched_records() {
+        let mut z = zone();
+        let n = name("svc.cs.washington.edu");
+        let wrong = ResourceRecord::txt(name("other.cs.washington.edu"), 60, "x");
+        assert!(z.replace(&n, RType::Txt, vec![wrong]).is_err());
+    }
+
+    #[test]
+    fn add_outside_zone_rejected() {
+        let mut z = zone();
+        assert!(matches!(
+            z.add(ResourceRecord::txt(name("a.mit.edu"), 60, "x")),
+            Err(NsError::NotAuthoritative(_))
+        ));
+    }
+
+    #[test]
+    fn default_ttl_applied() {
+        let mut z = zone();
+        z.add_with_default_ttl(ResourceRecord::txt(name("a.cs.washington.edu"), 1, "x"))
+            .expect("add");
+        let found = z
+            .lookup(&name("a.cs.washington.edu"), RType::Txt)
+            .expect("lookup");
+        assert_eq!(found[0].ttl, 3600);
+        assert_eq!(z.default_ttl(), 3600);
+    }
+
+    #[test]
+    fn delegation_found_below_cut_with_glue() {
+        let mut z = Zone::new(name("washington.edu"), 3600);
+        z.add(ResourceRecord {
+            name: name("cs.washington.edu"),
+            rtype: RType::Ns,
+            ttl: 3600,
+            rdata: RData::Domain(name("ns.cs.washington.edu")),
+        })
+        .expect("ns");
+        z.add(ResourceRecord::a(
+            name("ns.cs.washington.edu"),
+            3600,
+            NetAddr::of(HostId(9)),
+        ))
+        .expect("glue");
+        // Below the cut: referral with NS + glue.
+        let referral = z
+            .find_delegation(&name("fiji.cs.washington.edu"))
+            .expect("delegated");
+        assert_eq!(referral.len(), 2);
+        assert!(referral.iter().any(|r| r.rtype == RType::Ns));
+        assert!(referral.iter().any(|r| r.rtype == RType::A));
+        // At the cut itself: also a referral.
+        assert!(z.find_delegation(&name("cs.washington.edu")).is_some());
+        // Outside the cut: no referral.
+        assert!(z.find_delegation(&name("ee.washington.edu")).is_none());
+        // Never at or above the origin.
+        assert!(z.find_delegation(&name("washington.edu")).is_none());
+    }
+
+    #[test]
+    fn ns_at_origin_is_not_a_delegation() {
+        // A zone's own NS records (apex) do not make it refer itself away.
+        let mut z = Zone::new(name("cs.washington.edu"), 3600);
+        z.add(ResourceRecord {
+            name: name("cs.washington.edu"),
+            rtype: RType::Ns,
+            ttl: 3600,
+            rdata: RData::Domain(name("ns.cs.washington.edu")),
+        })
+        .expect("apex ns");
+        assert!(z.find_delegation(&name("fiji.cs.washington.edu")).is_none());
+    }
+
+    #[test]
+    fn size_and_count_track_contents() {
+        let mut z = zone();
+        assert_eq!(z.record_count(), 0);
+        assert_eq!(z.size_bytes(), 0);
+        z.add(ResourceRecord::txt(
+            name("a.cs.washington.edu"),
+            60,
+            "hello",
+        ))
+        .expect("add");
+        z.add(ResourceRecord::a(
+            name("b.cs.washington.edu"),
+            60,
+            NetAddr::of(HostId(1)),
+        ))
+        .expect("add");
+        assert_eq!(z.record_count(), 2);
+        assert!(z.size_bytes() > 0);
+        assert_eq!(z.all_records().len(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests on the name-service invariants.
+
+use proptest::prelude::*;
+
+use bindns::name::DomainName;
+use bindns::rr::{RData, RType, ResourceRecord};
+use bindns::update::UpdateOp;
+use bindns::zone::Zone;
+use simnet::topology::{HostId, NetAddr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9][a-z0-9_-]{0,12}"
+}
+
+fn arb_name_under(origin: &'static str) -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec(arb_label(), 1..3).prop_map(move |labels| {
+        DomainName::parse(&format!("{}.{origin}", labels.join("."))).expect("valid")
+    })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        (0u32..256).prop_map(|h| RData::Addr(NetAddr::of(HostId(h)))),
+        "[ -~]{0,64}".prop_map(RData::Text),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(RData::Opaque),
+    ]
+}
+
+fn rtype_for(rdata: &RData) -> RType {
+    match rdata {
+        RData::Addr(_) => RType::A,
+        RData::Text(_) => RType::Txt,
+        RData::Opaque(_) => RType::Unspec,
+        RData::Domain(_) => RType::Cname,
+        RData::Soa { .. } => RType::Soa,
+    }
+}
+
+proptest! {
+    #[test]
+    fn rdata_bytes_roundtrip(rdata in arb_rdata()) {
+        let bytes = rdata.to_bytes().expect("encode");
+        prop_assert_eq!(RData::from_bytes(&bytes).expect("decode"), rdata);
+    }
+
+    #[test]
+    fn rdata_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = RData::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn record_value_roundtrip(name in arb_name_under("cs.washington.edu"), ttl in 0u32..1_000_000, rdata in arb_rdata()) {
+        let rr = ResourceRecord { name, rtype: rtype_for(&rdata), ttl, rdata };
+        let v = rr.to_value().expect("encode");
+        prop_assert_eq!(ResourceRecord::from_value(&v).expect("decode"), rr);
+    }
+
+    #[test]
+    fn zone_serial_is_strictly_monotone_under_mutation(
+        records in proptest::collection::vec(
+            (proptest::collection::vec(arb_label(), 1..3), arb_rdata()),
+            1..20,
+        )
+    ) {
+        let mut zone = Zone::new(DomainName::parse("z").expect("origin"), 60);
+        let mut last_serial = zone.serial();
+        for (labels, rdata) in records {
+            let name = DomainName::parse(&format!("{}.z", labels.join("."))).expect("valid");
+            let rr = ResourceRecord { name, rtype: rtype_for(&rdata), ttl: 60, rdata };
+            if zone.add(rr).is_ok() {
+                prop_assert!(zone.serial() > last_serial, "serial must advance");
+                last_serial = zone.serial();
+            }
+        }
+    }
+
+    #[test]
+    fn zone_lookup_finds_exactly_what_was_added(
+        entries in proptest::collection::btree_map(
+            proptest::collection::vec(arb_label(), 1..3),
+            0u32..64,
+            1..12,
+        )
+    ) {
+        let mut zone = Zone::new(DomainName::parse("z").expect("origin"), 60);
+        for (labels, host) in &entries {
+            let name = DomainName::parse(&format!("{}.z", labels.join("."))).expect("valid");
+            zone.add(ResourceRecord::a(name, 60, NetAddr::of(HostId(*host)))).expect("add");
+        }
+        prop_assert_eq!(zone.record_count(), entries.len());
+        for (labels, host) in &entries {
+            let name = DomainName::parse(&format!("{}.z", labels.join("."))).expect("valid");
+            let found = zone.lookup(&name, RType::A).expect("present");
+            prop_assert_eq!(found.len(), 1);
+            prop_assert_eq!(&found[0].rdata, &RData::Addr(NetAddr::of(HostId(*host))));
+        }
+    }
+
+    #[test]
+    fn zone_transfer_preserves_every_record(
+        entries in proptest::collection::btree_map(
+            proptest::collection::vec(arb_label(), 1..3),
+            arb_rdata(),
+            1..10,
+        )
+    ) {
+        let mut zone = Zone::new(DomainName::parse("z").expect("origin"), 60);
+        for (labels, rdata) in &entries {
+            let name = DomainName::parse(&format!("{}.z", labels.join("."))).expect("valid");
+            let rr = ResourceRecord { name, rtype: rtype_for(rdata), ttl: 60, rdata: rdata.clone() };
+            zone.add(rr).expect("add");
+        }
+        // AXFR payload rebuilt into a fresh zone is equivalent.
+        let mut copy = Zone::new(DomainName::parse("z").expect("origin"), 60);
+        for rr in zone.all_records() {
+            copy.add(rr).expect("copy");
+        }
+        prop_assert_eq!(copy.record_count(), zone.record_count());
+        prop_assert_eq!(copy.size_bytes(), zone.size_bytes());
+        for (labels, rdata) in &entries {
+            let name = DomainName::parse(&format!("{}.z", labels.join("."))).expect("valid");
+            prop_assert!(copy.lookup(&name, rtype_for(rdata)).is_ok());
+        }
+    }
+
+    #[test]
+    fn update_ops_value_roundtrip(
+        labels in proptest::collection::vec(arb_label(), 1..3),
+        rdata in arb_rdata(),
+    ) {
+        let name = DomainName::parse(&format!("{}.z", labels.join("."))).expect("valid");
+        let rr = ResourceRecord { name: name.clone(), rtype: rtype_for(&rdata), ttl: 60, rdata };
+        for op in [
+            UpdateOp::Add(rr.clone()),
+            UpdateOp::Delete { name: name.clone(), rtype: rr.rtype },
+            UpdateOp::Replace { name, rtype: rr.rtype, records: vec![rr.clone()] },
+        ] {
+            let v = op.to_value().expect("encode");
+            prop_assert_eq!(UpdateOp::from_value(&v).expect("decode"), op);
+        }
+    }
+
+    #[test]
+    fn add_then_remove_restores_absence(
+        labels in proptest::collection::vec(arb_label(), 1..3),
+        rdata in arb_rdata(),
+    ) {
+        let mut zone = Zone::new(DomainName::parse("z").expect("origin"), 60);
+        let name = DomainName::parse(&format!("{}.z", labels.join("."))).expect("valid");
+        let rtype = rtype_for(&rdata);
+        let rr = ResourceRecord { name: name.clone(), rtype, ttl: 60, rdata };
+        zone.add(rr).expect("add");
+        prop_assert_eq!(zone.remove(&name, rtype), 1);
+        prop_assert!(zone.lookup(&name, rtype).is_err());
+        prop_assert_eq!(zone.record_count(), 0);
+    }
+
+    #[test]
+    fn domain_parse_never_panics(s in "[ -~]{0,80}") {
+        let _ = DomainName::parse(&s);
+    }
+}

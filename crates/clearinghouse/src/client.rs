@@ -1,0 +1,285 @@
+//! A typed Clearinghouse client.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use simnet::topology::HostId;
+
+use hrpc::error::RpcResult;
+use hrpc::net::RpcNet;
+use hrpc::HrpcBinding;
+use wire::Value;
+
+use crate::auth::Credentials;
+use crate::name::ThreePartName;
+use crate::property::{Property, PropertyId};
+use crate::server::{
+    property_from_value, PROC_ADD_ALIAS, PROC_ADD_ENTRY, PROC_ADD_MEMBER, PROC_DELETE, PROC_LIST,
+    PROC_LOOKUP, PROC_SET_ITEM,
+};
+
+/// A client of one Clearinghouse server.
+pub struct ChClient {
+    net: Arc<RpcNet>,
+    host: HostId,
+    server: HrpcBinding,
+    creds: Credentials,
+}
+
+impl ChClient {
+    /// Creates a client on `host` with the given credentials.
+    pub fn new(net: Arc<RpcNet>, host: HostId, server: HrpcBinding, creds: Credentials) -> Self {
+        ChClient {
+            net,
+            host,
+            server,
+            creds,
+        }
+    }
+
+    fn base_args(&self, name: &ThreePartName) -> Vec<(&'static str, Value)> {
+        vec![
+            ("creds", self.creds.to_value()),
+            ("name", Value::str(name.to_string())),
+        ]
+    }
+
+    /// Reads one property.
+    pub fn lookup(&self, name: &ThreePartName, prop: PropertyId) -> RpcResult<Property> {
+        let mut args = self.base_args(name);
+        args.push(("prop", Value::U32(prop.0)));
+        let reply = self
+            .net
+            .call(self.host, &self.server, PROC_LOOKUP, &Value::record(args))?;
+        property_from_value(&reply)
+    }
+
+    /// Reads an item property's value.
+    pub fn lookup_item(&self, name: &ThreePartName, prop: PropertyId) -> RpcResult<Value> {
+        let p = self.lookup(name, prop)?;
+        p.as_item()
+            .cloned()
+            .map_err(|e| hrpc::RpcError::Service(e.to_string()))
+    }
+
+    /// Reads a group property's members.
+    pub fn lookup_group(
+        &self,
+        name: &ThreePartName,
+        prop: PropertyId,
+    ) -> RpcResult<BTreeSet<String>> {
+        let p = self.lookup(name, prop)?;
+        p.as_group()
+            .cloned()
+            .map_err(|e| hrpc::RpcError::Service(e.to_string()))
+    }
+
+    /// Creates an entry.
+    pub fn add_entry(&self, name: &ThreePartName) -> RpcResult<()> {
+        let args = Value::record(self.base_args(name));
+        self.net
+            .call(self.host, &self.server, PROC_ADD_ENTRY, &args)?;
+        Ok(())
+    }
+
+    /// Sets an item property.
+    pub fn set_item(&self, name: &ThreePartName, prop: PropertyId, value: Value) -> RpcResult<()> {
+        let mut args = self.base_args(name);
+        args.push(("prop", Value::U32(prop.0)));
+        args.push(("value", value));
+        self.net
+            .call(self.host, &self.server, PROC_SET_ITEM, &Value::record(args))?;
+        Ok(())
+    }
+
+    /// Adds a group member.
+    pub fn add_member(
+        &self,
+        name: &ThreePartName,
+        prop: PropertyId,
+        member: &str,
+    ) -> RpcResult<()> {
+        let mut args = self.base_args(name);
+        args.push(("prop", Value::U32(prop.0)));
+        args.push(("member", Value::str(member)));
+        self.net.call(
+            self.host,
+            &self.server,
+            PROC_ADD_MEMBER,
+            &Value::record(args),
+        )?;
+        Ok(())
+    }
+
+    /// Deletes an entry.
+    pub fn delete(&self, name: &ThreePartName) -> RpcResult<()> {
+        let args = Value::record(self.base_args(name));
+        self.net.call(self.host, &self.server, PROC_DELETE, &args)?;
+        Ok(())
+    }
+
+    /// Installs an alias for an existing entry.
+    pub fn add_alias(&self, alias: &ThreePartName, target: &ThreePartName) -> RpcResult<()> {
+        let mut args = self.base_args(alias);
+        args.push(("target", Value::str(target.to_string())));
+        self.net.call(
+            self.host,
+            &self.server,
+            PROC_ADD_ALIAS,
+            &Value::record(args),
+        )?;
+        Ok(())
+    }
+
+    /// Enumerates entries whose object part matches `pattern` (literal or
+    /// trailing-`*` wildcard).
+    pub fn list(
+        &self,
+        domain: &str,
+        organization: &str,
+        pattern: &str,
+    ) -> RpcResult<Vec<ThreePartName>> {
+        let args = Value::record(vec![
+            ("creds", self.creds.to_value()),
+            ("name", Value::str(format!("x:{domain}:{organization}"))),
+            ("domain", Value::str(domain)),
+            ("organization", Value::str(organization)),
+            ("pattern", Value::str(pattern)),
+        ]);
+        let reply = self.net.call(self.host, &self.server, PROC_LIST, &args)?;
+        reply
+            .as_list()?
+            .iter()
+            .map(|v| {
+                ThreePartName::parse(v.as_str()?)
+                    .map_err(|e| hrpc::RpcError::Service(e.to_string()))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ChClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChClient")
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::ChDb;
+    use crate::property::{PROP_ADDRESS, PROP_MEMBERS};
+    use crate::server::{deploy, ChServer};
+    use simnet::world::World;
+
+    fn setup() -> (Arc<simnet::World>, ChClient) {
+        let world = World::paper();
+        let client_host = world.add_host("client");
+        let ch_host = world.add_host("xerox-d0");
+        let net = RpcNet::new(Arc::clone(&world));
+        let server = ChServer::new("clearinghouse", ChDb::new(vec![("cs".into(), "uw".into())]));
+        let identity = ThreePartName::parse("app:cs:uw").expect("name");
+        server.register_key(identity.clone(), 7);
+        let dep = deploy(&net, ch_host, server);
+        let client = ChClient::new(net, client_host, dep.binding, Credentials::new(identity, 7));
+        (world, client)
+    }
+
+    #[test]
+    fn full_entry_lifecycle() {
+        let (_world, client) = setup();
+        let name = ThreePartName::parse("fiji:cs:uw").expect("name");
+        client.add_entry(&name).expect("add entry");
+        client
+            .set_item(&name, PROP_ADDRESS, Value::U32(5))
+            .expect("set");
+        assert_eq!(
+            client.lookup_item(&name, PROP_ADDRESS).expect("lookup"),
+            Value::U32(5)
+        );
+        client
+            .add_member(&name, PROP_MEMBERS, "alice:cs:uw")
+            .expect("member");
+        assert!(client
+            .lookup_group(&name, PROP_MEMBERS)
+            .expect("group")
+            .contains("alice:cs:uw"));
+        client.delete(&name).expect("delete");
+        assert!(client.lookup(&name, PROP_ADDRESS).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let (_world, client) = setup();
+        let name = ThreePartName::parse("fiji:cs:uw").expect("name");
+        client
+            .set_item(&name, PROP_ADDRESS, Value::U32(5))
+            .expect("set");
+        assert!(client.lookup_group(&name, PROP_ADDRESS).is_err());
+    }
+
+    #[test]
+    fn each_access_is_slow() {
+        let (world, client) = setup();
+        let name = ThreePartName::parse("fiji:cs:uw").expect("name");
+        client
+            .set_item(&name, PROP_ADDRESS, Value::U32(5))
+            .expect("set");
+        let (_, took, _) = world.measure(|| client.lookup_item(&name, PROP_ADDRESS));
+        assert!((took.as_ms_f64() - 156.0).abs() < 1.0, "took {took}");
+    }
+}
+
+#[cfg(test)]
+mod alias_list_tests {
+    use super::*;
+    use crate::db::ChDb;
+    use crate::property::PROP_ADDRESS;
+    use crate::server::{deploy, ChServer};
+    use simnet::world::World;
+
+    fn setup() -> ChClient {
+        let world = World::paper();
+        let client_host = world.add_host("client");
+        let ch_host = world.add_host("xerox-d0");
+        let net = RpcNet::new(Arc::clone(&world));
+        let server = ChServer::new("clearinghouse", ChDb::new(vec![("cs".into(), "uw".into())]));
+        let identity = ThreePartName::parse("app:cs:uw").expect("name");
+        server.register_key(identity.clone(), 7);
+        let dep = deploy(&net, ch_host, server);
+        ChClient::new(net, client_host, dep.binding, Credentials::new(identity, 7))
+    }
+
+    #[test]
+    fn alias_and_list_through_the_wire() {
+        let client = setup();
+        let printer = ThreePartName::parse("printer1:cs:uw").expect("name");
+        client
+            .set_item(&printer, PROP_ADDRESS, Value::U32(9))
+            .expect("set");
+        let alias = ThreePartName::parse("lp:cs:uw").expect("name");
+        client.add_alias(&alias, &printer).expect("alias");
+        assert_eq!(
+            client.lookup_item(&alias, PROP_ADDRESS).expect("via alias"),
+            Value::U32(9)
+        );
+
+        let names = client.list("cs", "uw", "printer*").expect("list");
+        assert_eq!(names, vec![printer]);
+    }
+
+    #[test]
+    fn alias_to_missing_target_is_lazy() {
+        // Clearinghouse aliases are name-level: the target need not exist
+        // yet, but lookups through the alias fail until it does.
+        let client = setup();
+        let alias = ThreePartName::parse("lp:cs:uw").expect("name");
+        let target = ThreePartName::parse("ghost:cs:uw").expect("name");
+        client
+            .add_alias(&alias, &target)
+            .expect("alias to missing target");
+        assert!(client.lookup_item(&alias, PROP_ADDRESS).is_err());
+    }
+}

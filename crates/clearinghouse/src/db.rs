@@ -1,0 +1,357 @@
+//! The per-domain entry database.
+
+use std::collections::BTreeMap;
+
+use crate::error::{ChError, ChResult};
+use crate::name::ThreePartName;
+use crate::property::{Entry, Property, PropertyId};
+
+/// All entries of the domains one server is responsible for.
+#[derive(Debug, Default, Clone)]
+pub struct ChDb {
+    /// Domains served, as `(domain, organization)` pairs.
+    domains: Vec<(String, String)>,
+    entries: BTreeMap<ThreePartName, Entry>,
+    /// Alias → canonical name.
+    aliases: BTreeMap<ThreePartName, ThreePartName>,
+}
+
+impl ChDb {
+    /// Creates a database serving the given domains.
+    pub fn new(domains: Vec<(String, String)>) -> Self {
+        ChDb {
+            domains: domains
+                .into_iter()
+                .map(|(d, o)| (d.to_ascii_lowercase(), o.to_ascii_lowercase()))
+                .collect(),
+            entries: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+        }
+    }
+
+    /// True if this database is responsible for `name`'s domain.
+    pub fn serves(&self, name: &ThreePartName) -> bool {
+        self.domains.contains(&name.domain_key())
+    }
+
+    fn check_serves(&self, name: &ThreePartName) -> ChResult<()> {
+        if self.serves(name) {
+            Ok(())
+        } else {
+            Err(ChError::WrongServer(format!(
+                "{}:{}",
+                name.domain(),
+                name.organization()
+            )))
+        }
+    }
+
+    /// Creates an empty entry.
+    pub fn add_entry(&mut self, name: ThreePartName) -> ChResult<()> {
+        self.check_serves(&name)?;
+        if self.entries.contains_key(&name) {
+            return Err(ChError::AlreadyExists(name.to_string()));
+        }
+        self.entries.insert(name, Entry::new());
+        Ok(())
+    }
+
+    /// Deletes an entry; errors if absent.
+    pub fn delete_entry(&mut self, name: &ThreePartName) -> ChResult<()> {
+        self.check_serves(name)?;
+        self.entries
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ChError::NotFound(name.to_string()))
+    }
+
+    /// Sets an item property, creating the entry if needed.
+    pub fn set_item(
+        &mut self,
+        name: &ThreePartName,
+        id: PropertyId,
+        value: wire::Value,
+    ) -> ChResult<()> {
+        self.check_serves(name)?;
+        self.entries
+            .entry(name.clone())
+            .or_default()
+            .set_item(id, value);
+        Ok(())
+    }
+
+    /// Adds a member to a group property, creating the entry if needed.
+    pub fn add_member(
+        &mut self,
+        name: &ThreePartName,
+        id: PropertyId,
+        member: &str,
+    ) -> ChResult<()> {
+        self.check_serves(name)?;
+        self.entries
+            .entry(name.clone())
+            .or_default()
+            .add_member(id, member)
+    }
+
+    /// Resolves one level of aliasing.
+    pub fn canonical(&self, name: &ThreePartName) -> ThreePartName {
+        self.aliases
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| name.clone())
+    }
+
+    /// Installs an alias. The alias may not shadow an existing entry, and
+    /// aliases do not chain (an alias must target a non-alias).
+    pub fn add_alias(&mut self, alias: ThreePartName, target: ThreePartName) -> ChResult<()> {
+        self.check_serves(&alias)?;
+        self.check_serves(&target)?;
+        if self.entries.contains_key(&alias) {
+            return Err(ChError::AlreadyExists(alias.to_string()));
+        }
+        if self.aliases.contains_key(&target) {
+            return Err(ChError::BadName(format!(
+                "alias target {target} is itself an alias"
+            )));
+        }
+        self.aliases.insert(alias, target);
+        Ok(())
+    }
+
+    /// Reads one property of an entry, following aliases.
+    pub fn lookup(&self, name: &ThreePartName, id: PropertyId) -> ChResult<Property> {
+        self.check_serves(name)?;
+        let canonical = self.canonical(name);
+        let entry = self
+            .entries
+            .get(&canonical)
+            .ok_or_else(|| ChError::NotFound(name.to_string()))?;
+        entry.get(id).cloned()
+    }
+
+    /// Enumerates entry names whose *object* part matches `pattern`
+    /// (a literal with an optional trailing `*` wildcard) in the given
+    /// domain. Aliases are not enumerated.
+    pub fn list(&self, domain: &str, organization: &str, pattern: &str) -> Vec<ThreePartName> {
+        let matcher = |object: &str| match pattern.strip_suffix('*') {
+            Some(prefix) => object.starts_with(&prefix.to_ascii_lowercase()),
+            None => object == pattern.to_ascii_lowercase(),
+        };
+        self.entries
+            .keys()
+            .filter(|n| {
+                n.domain() == domain.to_ascii_lowercase()
+                    && n.organization() == organization.to_ascii_lowercase()
+                    && matcher(n.object())
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Reads a whole entry.
+    pub fn entry(&self, name: &ThreePartName) -> ChResult<&Entry> {
+        self.check_serves(name)?;
+        self.entries
+            .get(name)
+            .ok_or_else(|| ChError::NotFound(name.to_string()))
+    }
+
+    /// All entries (for replication).
+    pub fn snapshot(&self) -> Vec<(ThreePartName, Entry)> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Replaces contents from a snapshot (replica refresh).
+    pub fn restore(&mut self, snapshot: Vec<(ThreePartName, Entry)>) {
+        self.entries = snapshot.into_iter().collect();
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::PROP_ADDRESS;
+    use wire::Value;
+
+    fn db() -> ChDb {
+        ChDb::new(vec![("cs".into(), "uw".into())])
+    }
+
+    fn name(s: &str) -> ThreePartName {
+        ThreePartName::parse(s).expect("name")
+    }
+
+    #[test]
+    fn add_set_lookup() {
+        let mut db = db();
+        db.add_entry(name("fiji:cs:uw")).expect("add");
+        db.set_item(&name("fiji:cs:uw"), PROP_ADDRESS, Value::U32(3))
+            .expect("set");
+        let p = db
+            .lookup(&name("fiji:cs:uw"), PROP_ADDRESS)
+            .expect("lookup");
+        assert_eq!(p.as_item().expect("item"), &Value::U32(3));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn wrong_domain_rejected() {
+        let mut db = db();
+        assert!(matches!(
+            db.add_entry(name("x:ee:uw")),
+            Err(ChError::WrongServer(_))
+        ));
+        assert!(matches!(
+            db.lookup(&name("x:ee:uw"), PROP_ADDRESS),
+            Err(ChError::WrongServer(_))
+        ));
+        assert!(!db.serves(&name("x:ee:uw")));
+    }
+
+    #[test]
+    fn duplicate_entry_rejected() {
+        let mut db = db();
+        db.add_entry(name("a:cs:uw")).expect("add");
+        assert!(matches!(
+            db.add_entry(name("a:cs:uw")),
+            Err(ChError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn delete_entry() {
+        let mut db = db();
+        db.add_entry(name("a:cs:uw")).expect("add");
+        db.delete_entry(&name("a:cs:uw")).expect("delete");
+        assert!(matches!(
+            db.delete_entry(&name("a:cs:uw")),
+            Err(ChError::NotFound(_))
+        ));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn set_item_creates_entry_implicitly() {
+        let mut db = db();
+        db.set_item(&name("implicit:cs:uw"), PROP_ADDRESS, Value::U32(1))
+            .expect("set");
+        assert!(db.entry(&name("implicit:cs:uw")).is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut primary = db();
+        primary
+            .set_item(&name("a:cs:uw"), PROP_ADDRESS, Value::U32(1))
+            .expect("set");
+        primary
+            .add_member(&name("g:cs:uw"), PropertyId(40), "a:cs:uw")
+            .expect("add");
+        let mut replica = db();
+        replica.restore(primary.snapshot());
+        assert_eq!(replica.len(), 2);
+        assert_eq!(
+            replica
+                .lookup(&name("a:cs:uw"), PROP_ADDRESS)
+                .expect("lookup"),
+            primary
+                .lookup(&name("a:cs:uw"), PROP_ADDRESS)
+                .expect("lookup")
+        );
+    }
+
+    #[test]
+    fn missing_entry_vs_missing_property() {
+        let mut db = db();
+        db.add_entry(name("a:cs:uw")).expect("add");
+        assert!(matches!(
+            db.lookup(&name("b:cs:uw"), PROP_ADDRESS),
+            Err(ChError::NotFound(_))
+        ));
+        assert!(matches!(
+            db.lookup(&name("a:cs:uw"), PROP_ADDRESS),
+            Err(ChError::NoSuchProperty(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod alias_tests {
+    use super::*;
+    use crate::property::PROP_ADDRESS;
+    use wire::Value;
+
+    fn db() -> ChDb {
+        ChDb::new(vec![("cs".into(), "uw".into())])
+    }
+
+    fn name(s: &str) -> ThreePartName {
+        ThreePartName::parse(s).expect("name")
+    }
+
+    #[test]
+    fn alias_resolves_to_target_entry() {
+        let mut db = db();
+        db.set_item(&name("fiji:cs:uw"), PROP_ADDRESS, Value::U32(7))
+            .expect("set");
+        db.add_alias(name("mailhub:cs:uw"), name("fiji:cs:uw"))
+            .expect("alias");
+        let got = db
+            .lookup(&name("mailhub:cs:uw"), PROP_ADDRESS)
+            .expect("via alias");
+        assert_eq!(got.as_item().expect("item"), &Value::U32(7));
+        assert_eq!(db.canonical(&name("mailhub:cs:uw")), name("fiji:cs:uw"));
+    }
+
+    #[test]
+    fn alias_cannot_shadow_entry_or_chain() {
+        let mut db = db();
+        db.set_item(&name("fiji:cs:uw"), PROP_ADDRESS, Value::U32(7))
+            .expect("set");
+        assert!(db
+            .add_alias(name("fiji:cs:uw"), name("june:cs:uw"))
+            .is_err());
+        db.add_alias(name("a:cs:uw"), name("fiji:cs:uw"))
+            .expect("alias");
+        assert!(
+            db.add_alias(name("b:cs:uw"), name("a:cs:uw")).is_err(),
+            "aliases must not chain"
+        );
+    }
+
+    #[test]
+    fn list_matches_literal_and_wildcard() {
+        let mut db = db();
+        for object in ["printer1", "printer2", "plotter"] {
+            db.set_item(
+                &name(&format!("{object}:cs:uw")),
+                PROP_ADDRESS,
+                Value::U32(1),
+            )
+            .expect("set");
+        }
+        db.add_alias(name("printer-alias:cs:uw"), name("printer1:cs:uw"))
+            .expect("alias");
+        let all = db.list("cs", "uw", "*");
+        assert_eq!(all.len(), 3, "aliases are not enumerated");
+        let printers = db.list("cs", "uw", "printer*");
+        assert_eq!(printers.len(), 2);
+        let exact = db.list("cs", "uw", "plotter");
+        assert_eq!(exact.len(), 1);
+        assert!(db.list("ee", "uw", "*").is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Clearinghouse errors.
+
+use std::fmt;
+
+/// Failures in the Clearinghouse layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChError {
+    /// Malformed three-part name.
+    BadName(String),
+    /// No such entry.
+    NotFound(String),
+    /// Entry exists but lacks the requested property.
+    NoSuchProperty(u32),
+    /// Credentials rejected.
+    AuthFailed(String),
+    /// The entry already exists.
+    AlreadyExists(String),
+    /// The addressed domain is not served here.
+    WrongServer(String),
+    /// A property held the wrong kind of value (item vs group).
+    WrongPropertyKind,
+}
+
+impl fmt::Display for ChError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChError::BadName(msg) => write!(f, "bad name: {msg}"),
+            ChError::NotFound(name) => write!(f, "no such entry: {name}"),
+            ChError::NoSuchProperty(id) => write!(f, "no property {id}"),
+            ChError::AuthFailed(who) => write!(f, "authentication failed: {who}"),
+            ChError::AlreadyExists(name) => write!(f, "entry exists: {name}"),
+            ChError::WrongServer(domain) => write!(f, "domain {domain} not served here"),
+            ChError::WrongPropertyKind => write!(f, "wrong property kind"),
+        }
+    }
+}
+
+impl std::error::Error for ChError {}
+
+/// Result alias for Clearinghouse operations.
+pub type ChResult<T> = Result<T, ChError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        for (e, needle) in [
+            (ChError::BadName("x".into()), "bad name"),
+            (ChError::NotFound("y".into()), "no such entry"),
+            (ChError::NoSuchProperty(4), "property 4"),
+            (ChError::AuthFailed("guest".into()), "authentication"),
+            (ChError::AlreadyExists("z".into()), "exists"),
+            (ChError::WrongServer("d".into()), "not served"),
+            (ChError::WrongPropertyKind, "wrong property kind"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the Clearinghouse substrate.
+
+use proptest::prelude::*;
+
+use clearinghouse::db::ChDb;
+use clearinghouse::name::ThreePartName;
+use clearinghouse::property::{Entry, PropertyId};
+use wire::Value;
+
+fn arb_part() -> impl Strategy<Value = String> {
+    "[a-z0-9][a-z0-9._-]{0,12}"
+}
+
+proptest! {
+    #[test]
+    fn names_roundtrip(object in arb_part(), domain in arb_part(), org in arb_part()) {
+        let name = ThreePartName::new(&object, &domain, &org).expect("valid");
+        let reparsed = ThreePartName::parse(&name.to_string()).expect("reparse");
+        prop_assert_eq!(name, reparsed);
+    }
+
+    #[test]
+    fn name_parse_never_panics(s in "[ -~]{0,64}") {
+        let _ = ThreePartName::parse(&s);
+    }
+
+    #[test]
+    fn entries_roundtrip_through_wire(
+        items in proptest::collection::btree_map(1u32..64, any::<u32>(), 0..8),
+        members in proptest::collection::btree_set("[a-z:]{1,16}", 0..6),
+    ) {
+        let mut entry = Entry::new();
+        for (id, v) in &items {
+            entry.set_item(PropertyId(*id), Value::U32(*v));
+        }
+        for m in &members {
+            entry.add_member(PropertyId(200), m.clone()).expect("group");
+        }
+        let v = entry.to_value();
+        prop_assert_eq!(Entry::from_value(&v).expect("decode"), entry);
+    }
+
+    #[test]
+    fn db_lookup_matches_last_write(
+        writes in proptest::collection::vec((arb_part(), 1u32..16, any::<u32>()), 1..24)
+    ) {
+        let mut db = ChDb::new(vec![("cs".into(), "uw".into())]);
+        let mut expected = std::collections::HashMap::new();
+        for (object, prop, value) in &writes {
+            let name = ThreePartName::new(object, "cs", "uw").expect("valid");
+            db.set_item(&name, PropertyId(*prop), Value::U32(*value)).expect("set");
+            expected.insert((name, PropertyId(*prop)), *value);
+        }
+        for ((name, prop), value) in expected {
+            let got = db.lookup(&name, prop).expect("present");
+            prop_assert_eq!(got.as_item().expect("item"), &Value::U32(value));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_lossless(
+        writes in proptest::collection::vec((arb_part(), 1u32..8, any::<u32>()), 0..16)
+    ) {
+        let mut primary = ChDb::new(vec![("cs".into(), "uw".into())]);
+        for (object, prop, value) in &writes {
+            let name = ThreePartName::new(object, "cs", "uw").expect("valid");
+            primary.set_item(&name, PropertyId(*prop), Value::U32(*value)).expect("set");
+        }
+        let mut replica = ChDb::new(vec![("cs".into(), "uw".into())]);
+        replica.restore(primary.snapshot());
+        prop_assert_eq!(replica.len(), primary.len());
+        for (object, prop, _) in &writes {
+            let name = ThreePartName::new(object, "cs", "uw").expect("valid");
+            prop_assert_eq!(
+                replica.lookup(&name, PropertyId(*prop)).ok(),
+                primary.lookup(&name, PropertyId(*prop)).ok()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_domain_always_rejected(object in arb_part(), domain in arb_part()) {
+        prop_assume!(domain != "cs");
+        let db = ChDb::new(vec![("cs".into(), "uw".into())]);
+        let name = ThreePartName::new(&object, &domain, "uw").expect("valid");
+        prop_assert!(db.lookup(&name, PropertyId(4)).is_err());
+    }
+}

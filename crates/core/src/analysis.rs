@@ -1,0 +1,196 @@
+//! The paper's analytic models: equation (1) and the preload break-even.
+//!
+//! Equation (1): starting from
+//!
+//! ```text
+//! C(remote) = C(remote call) + (p+q)·C(hit) + (1-p-q)·C(miss)
+//! C(local)  = C(local call)  +  p   ·C(hit) + (1-p)  ·C(miss)
+//! ```
+//!
+//! and taking `C(local call) ≈ 0`, "remote location is preferable whenever
+//! `q > C(remote call) / (C(cache miss) − C(cache hit))`" — where `q` is
+//! the *additional* cache-hit fraction a long-lived remote server achieves
+//! over locally linked copies.
+
+/// Inputs to equation (1), all in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eq1Inputs {
+    /// Cost of one remote call to the component being placed.
+    pub remote_call_ms: f64,
+    /// Operation cost on a cache hit.
+    pub hit_ms: f64,
+    /// Operation cost on a cache miss.
+    pub miss_ms: f64,
+}
+
+impl Eq1Inputs {
+    /// The threshold additional hit fraction `q` above which remote
+    /// placement wins.
+    ///
+    /// Returns `None` when `miss ≤ hit` (no benefit to caching, so remote
+    /// placement can never pay for its call overhead).
+    pub fn remote_threshold(&self) -> Option<f64> {
+        let denom = self.miss_ms - self.hit_ms;
+        if denom <= 0.0 {
+            None
+        } else {
+            Some(self.remote_call_ms / denom)
+        }
+    }
+
+    /// Expected cost with the component remote, given base hit fraction
+    /// `p` and additional remote hit fraction `q`.
+    pub fn remote_cost(&self, p: f64, q: f64) -> f64 {
+        let hit = (p + q).clamp(0.0, 1.0);
+        self.remote_call_ms + hit * self.hit_ms + (1.0 - hit) * self.miss_ms
+    }
+
+    /// Expected cost with the component linked locally at hit fraction `p`
+    /// (local call cost taken as zero, as in the paper).
+    pub fn local_cost(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        p * self.hit_ms + (1.0 - p) * self.miss_ms
+    }
+}
+
+/// Preload economics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreloadModel {
+    /// One-time preload cost, milliseconds.
+    pub preload_ms: f64,
+    /// Cold (cache-miss) cost per distinct context/query-class call.
+    pub cold_ms: f64,
+    /// Warm (cache-hit) cost per call after preload.
+    pub warm_ms: f64,
+}
+
+impl PreloadModel {
+    /// Total cost of `k` distinct calls with preloading.
+    pub fn with_preload(&self, k: u32) -> f64 {
+        self.preload_ms + f64::from(k) * self.warm_ms
+    }
+
+    /// Total cost of `k` distinct calls without preloading (each first
+    /// touch is cold).
+    pub fn without_preload(&self, k: u32) -> f64 {
+        f64::from(k) * self.cold_ms
+    }
+
+    /// Smallest number of distinct calls at which preloading wins, if any.
+    pub fn break_even_calls(&self) -> Option<u32> {
+        let saving = self.cold_ms - self.warm_ms;
+        if saving <= 0.0 {
+            return None;
+        }
+        Some((self.preload_ms / saving).ceil().max(1.0) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_hns_threshold_is_11_percent() {
+        // "estimating C(remote call) as 33 msec., C(cache hit) as 261
+        // msec., and C(cache miss) as 547 msec., we calculate that the
+        // cache hit fraction obtained when the HNS is remote must exceed
+        // that when it is local by an additional 11%".
+        let inputs = Eq1Inputs {
+            remote_call_ms: 33.0,
+            hit_ms: 261.0,
+            miss_ms: 547.0,
+        };
+        let q = inputs.remote_threshold().expect("threshold");
+        assert!((q - 0.11).abs() < 0.006, "q = {q}");
+    }
+
+    #[test]
+    fn paper_nsm_threshold_is_42_percent() {
+        // "estimating C(cache hit) as 147 msec. and C(cache miss) as 225
+        // msec., an additional 42% cache hit must be experienced by the
+        // remote NSMs".
+        let inputs = Eq1Inputs {
+            remote_call_ms: 33.0,
+            hit_ms: 147.0,
+            miss_ms: 225.0,
+        };
+        let q = inputs.remote_threshold().expect("threshold");
+        assert!((q - 0.42).abs() < 0.01, "q = {q}");
+    }
+
+    #[test]
+    fn threshold_crossing_flips_preference() {
+        let inputs = Eq1Inputs {
+            remote_call_ms: 33.0,
+            hit_ms: 100.0,
+            miss_ms: 400.0,
+        };
+        let q_star = inputs.remote_threshold().expect("threshold");
+        let p = 0.3;
+        // Just below the threshold, local wins; just above, remote wins.
+        assert!(inputs.remote_cost(p, q_star - 0.02) > inputs.local_cost(p));
+        assert!(inputs.remote_cost(p, q_star + 0.02) < inputs.local_cost(p));
+    }
+
+    #[test]
+    fn useless_cache_means_local_always_wins() {
+        let inputs = Eq1Inputs {
+            remote_call_ms: 33.0,
+            hit_ms: 100.0,
+            miss_ms: 100.0,
+        };
+        assert_eq!(inputs.remote_threshold(), None);
+        assert!(inputs.remote_cost(0.5, 0.5) > inputs.local_cost(0.5));
+    }
+
+    #[test]
+    fn hit_fractions_clamp() {
+        let inputs = Eq1Inputs {
+            remote_call_ms: 10.0,
+            hit_ms: 1.0,
+            miss_ms: 100.0,
+        };
+        assert_eq!(inputs.remote_cost(0.9, 0.9), inputs.remote_cost(1.0, 0.0));
+        assert_eq!(inputs.local_cost(2.0), inputs.local_cost(1.0));
+    }
+
+    #[test]
+    fn paper_preload_breaks_even_at_two_calls() {
+        // "preloading seems to be effective in situations where two or
+        // more calls to the HNS for different context/query classes will
+        // be made." Preload 390, cold ~370, warm ~88.
+        let model = PreloadModel {
+            preload_ms: 390.0,
+            cold_ms: 370.0,
+            warm_ms: 88.0,
+        };
+        assert_eq!(model.break_even_calls(), Some(2));
+        assert!(model.with_preload(1) > model.without_preload(1));
+        assert!(model.with_preload(2) < model.without_preload(2));
+    }
+
+    #[test]
+    fn preload_never_pays_without_savings() {
+        let model = PreloadModel {
+            preload_ms: 390.0,
+            cold_ms: 88.0,
+            warm_ms: 88.0,
+        };
+        assert_eq!(model.break_even_calls(), None);
+    }
+
+    #[test]
+    fn preload_cost_between_one_and_two_misses_matches_paper() {
+        // "the cost of preloading plus a cache hit falls between one and
+        // two cache miss times".
+        let model = PreloadModel {
+            preload_ms: 390.0,
+            cold_ms: 370.0,
+            warm_ms: 88.0,
+        };
+        let preload_plus_hit = model.preload_ms + model.warm_ms;
+        assert!(preload_plus_hit > model.cold_ms);
+        assert!(preload_plus_hit < 2.0 * model.cold_ms);
+    }
+}

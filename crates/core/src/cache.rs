@@ -1,0 +1,359 @@
+//! The HNS meta-naming cache.
+//!
+//! "Because our approach introduces a level of indirection, we use a
+//! specialized caching scheme based on locality of reference to query class
+//! and name system type to provide acceptable performance."
+//!
+//! Two storage forms exist, the subject of Table 3.2:
+//!
+//! * **Marshalled** — entries are kept in wire form and demarshalled
+//!   through the generated routines on every hit (the initial
+//!   implementation: "we kept data in its marshalled form, and demarshalled
+//!   it upon every access, expecting that marshalling was a minor expense").
+//! * **Demarshalled** — entries are kept decoded; a hit is a map lookup
+//!   plus a copy ("by simply changing the cache to keep demarshalled
+//!   information, the times decreased dramatically").
+//!
+//! Entries are TTL-tagged, inheriting BIND's invalidation regime.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use simnet::time::{SimDuration, SimTime};
+use simnet::world::World;
+use simnet::CacheForm;
+use wire::Value;
+
+/// Whether and how the HNS caches meta information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No caching (the paper's column-A/no-cache interpretation).
+    Disabled,
+    /// Cache in wire form; every hit pays a generated demarshal.
+    Marshalled,
+    /// Cache decoded values; hits are nearly free.
+    Demarshalled,
+}
+
+/// Keys for the six data mappings a `FindNSM` performs.
+///
+/// Meta-store mappings (context, NSM-name, NSM-info records) are keyed by
+/// their meta-zone domain name, so the zone-transfer preload path produces
+/// exactly the same keys as the demand-fetch path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MetaKey {
+    /// Mappings 1–5: a record set in the meta zone.
+    Meta(bindns::name::DomainName),
+    /// Mapping 6: a (name service, host name) → address result obtained
+    /// via the linked host-address NSM.
+    HostAddr(String, String),
+}
+
+#[derive(Debug)]
+enum Stored {
+    Bytes(Vec<u8>),
+    Decoded(Value),
+}
+
+#[derive(Debug)]
+struct Entry {
+    stored: Stored,
+    rrs: usize,
+    expires_at: SimTime,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HnsCacheStats {
+    /// Live-entry hits.
+    pub hits: u64,
+    /// Misses (including TTL expirations).
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries inserted by preload.
+    pub preloaded: u64,
+}
+
+/// The HNS cache.
+pub struct HnsCache {
+    mode: Mutex<CacheMode>,
+    entries: Mutex<HashMap<MetaKey, Entry>>,
+    stats: Mutex<HnsCacheStats>,
+}
+
+impl HnsCache {
+    /// Creates a cache in the given mode.
+    pub fn new(mode: CacheMode) -> Self {
+        HnsCache {
+            mode: Mutex::new(mode),
+            entries: Mutex::new(HashMap::new()),
+            stats: Mutex::new(HnsCacheStats::default()),
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> CacheMode {
+        *self.mode.lock()
+    }
+
+    /// Switches mode, clearing the cache (entries are stored per-form).
+    pub fn set_mode(&self, mode: CacheMode) {
+        *self.mode.lock() = mode;
+        self.entries.lock().clear();
+    }
+
+    /// Looks up `key`, charging the probe cost and, on a hit, the
+    /// form-dependent access cost of Table 3.2.
+    pub fn get(&self, world: &World, key: &MetaKey) -> Option<Value> {
+        let mode = self.mode();
+        if mode == CacheMode::Disabled {
+            return None;
+        }
+        world.charge_ms(world.costs.cache_probe);
+        let mut entries = self.entries.lock();
+        match entries.get(key) {
+            Some(entry) if entry.expires_at > world.now() => {
+                let value = match &entry.stored {
+                    Stored::Bytes(bytes) => {
+                        // The real demarshal, plus its calibrated cost.
+                        world.charge_ms(world.costs.cache_hit(CacheForm::Marshalled, entry.rrs));
+                        match wire::xdr::decode(bytes) {
+                            Ok(v) => v,
+                            Err(_) => {
+                                entries.remove(key);
+                                self.stats.lock().misses += 1;
+                                return None;
+                            }
+                        }
+                    }
+                    Stored::Decoded(v) => {
+                        world.charge_ms(world.costs.cache_hit(CacheForm::Demarshalled, entry.rrs));
+                        v.clone()
+                    }
+                };
+                self.stats.lock().hits += 1;
+                world.trace(
+                    None,
+                    simnet::trace::TraceKind::Cache,
+                    format!("hit {key:?}"),
+                );
+                Some(value)
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.stats.lock().misses += 1;
+                None
+            }
+            None => {
+                self.stats.lock().misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a value fetched from the meta store or an NSM.
+    pub fn insert(&self, world: &World, key: MetaKey, value: &Value, rrs: usize, ttl_secs: u32) {
+        self.insert_inner(world, key, value, rrs, ttl_secs, false);
+    }
+
+    fn insert_inner(
+        &self,
+        world: &World,
+        key: MetaKey,
+        value: &Value,
+        rrs: usize,
+        ttl_secs: u32,
+        preload: bool,
+    ) {
+        let mode = self.mode();
+        if mode == CacheMode::Disabled {
+            return;
+        }
+        let stored = match mode {
+            CacheMode::Marshalled => match wire::xdr::encode(value) {
+                Ok(bytes) => Stored::Bytes(bytes),
+                Err(_) => return,
+            },
+            CacheMode::Demarshalled => Stored::Decoded(value.clone()),
+            CacheMode::Disabled => unreachable!("checked above"),
+        };
+        let expires_at = world.now() + SimDuration::from_ms(u64::from(ttl_secs) * 1000);
+        self.entries.lock().insert(
+            key,
+            Entry {
+                stored,
+                rrs,
+                expires_at,
+            },
+        );
+        let mut stats = self.stats.lock();
+        stats.inserts += 1;
+        if preload {
+            stats.preloaded += 1;
+        }
+    }
+
+    /// Inserts an entry on behalf of the preload path.
+    pub fn preload_insert(
+        &self,
+        world: &World,
+        key: MetaKey,
+        value: &Value,
+        rrs: usize,
+        ttl_secs: u32,
+    ) {
+        self.insert_inner(world, key, value, rrs, ttl_secs, true);
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> HnsCacheStats {
+        *self.stats.lock()
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = HnsCacheStats::default();
+    }
+}
+
+impl std::fmt::Debug for HnsCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HnsCache")
+            .field("mode", &self.mode())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> MetaKey {
+        MetaKey::Meta(bindns::name::DomainName::parse("ctx.bind-uw.hns").expect("name"))
+    }
+
+    fn value() -> Value {
+        Value::str("ns=BIND;map=id")
+    }
+
+    #[test]
+    fn disabled_mode_stores_nothing() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Disabled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        assert!(cache.get(&world, &key()).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn marshalled_hits_cost_table_3_2() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Marshalled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        let (got, took, _) = world.measure(|| cache.get(&world, &key()));
+        assert_eq!(got, Some(value()));
+        // probe (0.05) + marshalled hit for 1 RR (11.11).
+        assert!((took.as_ms_f64() - 11.16).abs() < 0.1, "took {took}");
+    }
+
+    #[test]
+    fn demarshalled_hits_are_nearly_free() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        let (got, took, _) = world.measure(|| cache.get(&world, &key()));
+        assert_eq!(got, Some(value()));
+        // probe (0.05) + demarshalled hit (0.83).
+        assert!((took.as_ms_f64() - 0.88).abs() < 0.05, "took {took}");
+    }
+
+    #[test]
+    fn six_record_entries_cost_more() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Marshalled);
+        cache.insert(&world, key(), &value(), 6, 600);
+        let (_, took, _) = world.measure(|| cache.get(&world, &key()));
+        // probe + 26.17 (Table 3.2, 6 RRs marshalled).
+        assert!((took.as_ms_f64() - 26.22).abs() < 0.1, "took {took}");
+    }
+
+    #[test]
+    fn ttl_expiry_evicts() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 1); // 1 second
+        world.charge_ms(1_500.0);
+        assert!(cache.get(&world, &key()).is_none());
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn mode_switch_clears_entries() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Marshalled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        cache.set_mode(CacheMode::Demarshalled);
+        assert!(cache.is_empty());
+        assert_eq!(cache.mode(), CacheMode::Demarshalled);
+    }
+
+    #[test]
+    fn preload_counts_separately() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Marshalled);
+        cache.preload_insert(&world, key(), &value(), 1, 600);
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.preloaded, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        let dn = |s: &str| bindns::name::DomainName::parse(s).expect("name");
+        let k1 = MetaKey::Meta(dn("map.bind--hrpcbinding.hns"));
+        let k2 = MetaKey::Meta(dn("map.bind--hostaddress.hns"));
+        let k3 = MetaKey::Meta(dn("info.nsm-x.hns"));
+        let k4 = MetaKey::HostAddr("BIND".into(), "fiji".into());
+        cache.insert(&world, k1.clone(), &Value::str("a"), 1, 600);
+        cache.insert(&world, k2.clone(), &Value::str("b"), 1, 600);
+        cache.insert(&world, k3.clone(), &Value::str("c"), 1, 600);
+        cache.insert(&world, k4.clone(), &Value::str("d"), 1, 600);
+        assert_eq!(cache.get(&world, &k1), Some(Value::str("a")));
+        assert_eq!(cache.get(&world, &k2), Some(Value::str("b")));
+        assert_eq!(cache.get(&world, &k3), Some(Value::str("c")));
+        assert_eq!(cache.get(&world, &k4), Some(Value::str("d")));
+    }
+
+    #[test]
+    fn stats_reset() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        let _ = cache.get(&world, &key());
+        cache.reset_stats();
+        assert_eq!(cache.stats(), HnsCacheStats::default());
+    }
+}

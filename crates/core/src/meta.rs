@@ -1,0 +1,447 @@
+//! The meta-naming store.
+//!
+//! "Although all data associated with individually nameable entities is
+//! kept in the underlying name services, the HNS maintains additional
+//! meta-naming information needed for managing the global name space. This
+//! information consists of the names and binding information for each name
+//! service and each NSM, the names of all contexts, and the mappings from
+//! contexts to name services. ... we use a version of BIND, modified to
+//! support both dynamic updates and also data of unspecified type."
+//!
+//! Three mapping families live here, mirroring `FindNSM`'s decomposition:
+//!
+//! 1. context → name-service name (one `UNSPEC` record),
+//! 2. (name-service name, query class) → NSM name (one record),
+//! 3. NSM name → NSM binding information (six records — this is the
+//!    6-resource-record row of Table 3.2).
+
+use bindns::name::DomainName;
+use bindns::resolver::HrpcResolver;
+use bindns::rr::{RData, RType, ResourceRecord};
+use bindns::update::UpdateOp;
+use hrpc::error::RpcError;
+
+use crate::error::{HnsError, HnsResult};
+use crate::name::{Context, NameMapping};
+use crate::nsm::NsmInfo;
+use crate::query::QueryClass;
+
+/// Default TTL for meta records, seconds.
+pub const META_TTL: u32 = 600;
+
+/// A value fetched from the meta store, with the sizing/lifetime data the
+/// HNS cache needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fetched<T> {
+    /// The decoded value.
+    pub value: T,
+    /// Resource records the reply carried (drives marshalling cost).
+    pub rrs: usize,
+    /// Minimum TTL among those records, seconds.
+    pub ttl_secs: u32,
+}
+
+/// What a context maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextInfo {
+    /// The name service responsible for the context.
+    pub name_service: String,
+    /// The individual-name ↔ local-name mapping.
+    pub mapping: NameMapping,
+}
+
+/// The meta store: a client of the modified BIND holding the `hns` zone.
+pub struct MetaStore {
+    resolver: HrpcResolver,
+    origin: DomainName,
+    record_ttl: parking_lot::Mutex<u32>,
+}
+
+/// Sanitizes an arbitrary identifier into a safe domain label.
+fn label(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    out.truncate(60);
+    if out.is_empty() {
+        out.push('x');
+    }
+    out
+}
+
+impl MetaStore {
+    /// Creates a store speaking to the modified BIND behind `resolver`,
+    /// whose meta zone is rooted at `origin` (conventionally `hns`).
+    pub fn new(resolver: HrpcResolver, origin: DomainName) -> Self {
+        MetaStore {
+            resolver,
+            origin,
+            record_ttl: parking_lot::Mutex::new(META_TTL),
+        }
+    }
+
+    /// The meta zone origin.
+    pub fn origin(&self) -> &DomainName {
+        &self.origin
+    }
+
+    /// Sets the TTL stamped on subsequently written records (the TTL
+    /// sensitivity ablation varies this).
+    pub fn set_record_ttl(&self, ttl_secs: u32) {
+        *self.record_ttl.lock() = ttl_secs;
+    }
+
+    /// The TTL currently stamped on written records.
+    pub fn record_ttl(&self) -> u32 {
+        *self.record_ttl.lock()
+    }
+
+    fn key(&self, parts: &[&str]) -> HnsResult<DomainName> {
+        let mut name = parts.iter().map(|p| label(p)).collect::<Vec<_>>().join(".");
+        name.push('.');
+        name.push_str(&self.origin.to_string());
+        DomainName::parse(&name).map_err(|e| HnsError::BadMetaRecord(e.to_string()))
+    }
+
+    /// The meta key for a context record.
+    pub fn context_key(&self, context: &Context) -> HnsResult<DomainName> {
+        self.key(&["ctx", context.as_str()])
+    }
+
+    /// The meta key for an NSM-name record.
+    pub fn nsm_name_key(&self, name_service: &str, qc: &QueryClass) -> HnsResult<DomainName> {
+        self.key(&["map", &format!("{}--{}", name_service, qc.as_str())])
+    }
+
+    /// The meta key for an NSM-info record set.
+    pub fn nsm_info_key(&self, nsm_name: &str) -> HnsResult<DomainName> {
+        self.key(&["info", nsm_name])
+    }
+
+    fn write(&self, name: DomainName, payloads: Vec<String>) -> HnsResult<()> {
+        let ttl = self.record_ttl();
+        let records: Vec<ResourceRecord> = payloads
+            .into_iter()
+            .map(|p| ResourceRecord::unspec(name.clone(), ttl, p.into_bytes()))
+            .collect();
+        self.resolver
+            .update(&UpdateOp::Replace {
+                name,
+                rtype: RType::Unspec,
+                records,
+            })
+            .map_err(HnsError::Rpc)
+    }
+
+    /// Reads the raw payload strings at a meta key.
+    pub fn fetch(&self, name: &DomainName) -> HnsResult<Fetched<Vec<String>>> {
+        self.read(name)
+    }
+
+    fn read(&self, name: &DomainName) -> HnsResult<Fetched<Vec<String>>> {
+        let records = self
+            .resolver
+            .query(name, RType::Unspec)
+            .map_err(HnsError::Rpc)?;
+        let ttl_secs = records.iter().map(|r| r.ttl).min().unwrap_or(META_TTL);
+        let rrs = records.len();
+        let mut payloads = Vec::with_capacity(rrs);
+        for r in &records {
+            match &r.rdata {
+                RData::Opaque(bytes) => payloads.push(
+                    String::from_utf8(bytes.clone())
+                        .map_err(|_| HnsError::BadMetaRecord("non-UTF-8 payload".into()))?,
+                ),
+                other => {
+                    return Err(HnsError::BadMetaRecord(format!(
+                        "expected UNSPEC, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Fetched {
+            value: payloads,
+            rrs,
+            ttl_secs,
+        })
+    }
+
+    /// Registers (or replaces) a context.
+    pub fn register_context(
+        &self,
+        context: &Context,
+        name_service: &str,
+        mapping: &NameMapping,
+    ) -> HnsResult<()> {
+        let payload = format!("ns={name_service};map={}", mapping.encode());
+        self.write(self.context_key(context)?, vec![payload])
+    }
+
+    /// Registers (or replaces) which NSM serves a (name service, query
+    /// class) pair.
+    pub fn register_nsm(
+        &self,
+        name_service: &str,
+        qc: &QueryClass,
+        nsm_name: &str,
+    ) -> HnsResult<()> {
+        self.write(
+            self.nsm_name_key(name_service, qc)?,
+            vec![nsm_name.to_string()],
+        )
+    }
+
+    /// Registers an NSM's binding information (six records).
+    pub fn register_nsm_info(&self, info: &NsmInfo) -> HnsResult<()> {
+        self.write(self.nsm_info_key(&info.nsm_name)?, info.to_records())
+    }
+
+    /// Parses a context record's payloads.
+    pub fn parse_context(payloads: &[String]) -> HnsResult<ContextInfo> {
+        let payload = payloads
+            .first()
+            .ok_or_else(|| HnsError::BadMetaRecord("empty context record".into()))?;
+        let mut name_service = None;
+        let mut mapping = None;
+        for piece in payload.split(';') {
+            match piece.split_once('=') {
+                Some(("ns", v)) => name_service = Some(v.to_string()),
+                Some(("map", v)) => mapping = Some(NameMapping::decode(v)?),
+                _ => return Err(HnsError::BadMetaRecord(format!("`{piece}`"))),
+            }
+        }
+        Ok(ContextInfo {
+            name_service: name_service
+                .ok_or_else(|| HnsError::BadMetaRecord("missing ns".into()))?,
+            mapping: mapping.ok_or_else(|| HnsError::BadMetaRecord("missing map".into()))?,
+        })
+    }
+
+    /// Parses an NSM-name record's payloads.
+    pub fn parse_nsm_name(payloads: &[String]) -> HnsResult<String> {
+        payloads
+            .first()
+            .cloned()
+            .ok_or_else(|| HnsError::BadMetaRecord("empty NSM record".into()))
+    }
+
+    /// Mapping 1: context → name service (+ name mapping).
+    pub fn lookup_context(&self, context: &Context) -> HnsResult<Fetched<ContextInfo>> {
+        let fetched = self
+            .read(&self.context_key(context)?)
+            .map_err(|e| match e {
+                HnsError::Rpc(RpcError::NotFound(_)) => {
+                    HnsError::NoSuchContext(context.as_str().to_string())
+                }
+                other => other,
+            })?;
+        Ok(Fetched {
+            value: Self::parse_context(&fetched.value)?,
+            rrs: fetched.rrs,
+            ttl_secs: fetched.ttl_secs,
+        })
+    }
+
+    /// Mapping 2: (name service, query class) → NSM name.
+    pub fn lookup_nsm_name(
+        &self,
+        name_service: &str,
+        qc: &QueryClass,
+    ) -> HnsResult<Fetched<String>> {
+        let fetched = self
+            .read(&self.nsm_name_key(name_service, qc)?)
+            .map_err(|e| match e {
+                HnsError::Rpc(RpcError::NotFound(_)) => HnsError::NoSuchNsm {
+                    name_service: name_service.to_string(),
+                    query_class: qc.as_str().to_string(),
+                },
+                other => other,
+            })?;
+        let nsm_name = Self::parse_nsm_name(&fetched.value)?;
+        Ok(Fetched {
+            value: nsm_name,
+            rrs: fetched.rrs,
+            ttl_secs: fetched.ttl_secs,
+        })
+    }
+
+    /// Mapping 3 (first half): NSM name → binding information.
+    pub fn lookup_nsm_info(&self, nsm_name: &str) -> HnsResult<Fetched<NsmInfo>> {
+        let fetched = self.read(&self.nsm_info_key(nsm_name)?)?;
+        let info = NsmInfo::from_records(nsm_name, &fetched.value)?;
+        Ok(Fetched {
+            value: info,
+            rrs: fetched.rrs,
+            ttl_secs: fetched.ttl_secs,
+        })
+    }
+}
+
+impl std::fmt::Debug for MetaStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaStore")
+            .field("origin", &self.origin.to_string())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nsm::SuiteTag;
+    use bindns::server::{deploy, single_zone_server};
+    use bindns::zone::Zone;
+    use hrpc::net::RpcNet;
+    use hrpc::ProgramId;
+    use simnet::world::World;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<simnet::World>, MetaStore) {
+        let world = World::paper();
+        let hns_host = world.add_host("hns-host");
+        let meta_host = world.add_host("meta-bind-host");
+        let net = RpcNet::new(Arc::clone(&world));
+        let zone = Zone::new(DomainName::parse("hns").expect("origin"), META_TTL);
+        let dep = deploy(&net, meta_host, single_zone_server("meta-bind", zone, true));
+        let resolver = HrpcResolver::new(net, hns_host, dep.hrpc_binding);
+        (
+            world,
+            MetaStore::new(resolver, DomainName::parse("hns").expect("origin")),
+        )
+    }
+
+    fn ctx(s: &str) -> Context {
+        Context::new(s).expect("ctx")
+    }
+
+    fn sample_info() -> NsmInfo {
+        NsmInfo {
+            nsm_name: "nsm-hrpcbinding-bind".into(),
+            host_name: "june.cs.washington.edu".into(),
+            host_context: ctx("bind-uw"),
+            program: ProgramId(300_001),
+            port: 1025,
+            suite: SuiteTag::Sun,
+            version: 1,
+            owner: "hcs".into(),
+        }
+    }
+
+    #[test]
+    fn context_registration_roundtrips() {
+        let (_world, meta) = setup();
+        let mapping = NameMapping::Identity;
+        meta.register_context(&ctx("hrpcbinding-bind"), "BIND", &mapping)
+            .expect("register");
+        let fetched = meta
+            .lookup_context(&ctx("hrpcbinding-bind"))
+            .expect("lookup");
+        assert_eq!(fetched.value.name_service, "BIND");
+        assert_eq!(fetched.value.mapping, mapping);
+        assert_eq!(fetched.rrs, 1);
+        assert_eq!(fetched.ttl_secs, META_TTL);
+    }
+
+    #[test]
+    fn unknown_context_is_specific_error() {
+        let (_world, meta) = setup();
+        assert!(matches!(
+            meta.lookup_context(&ctx("ghost")),
+            Err(HnsError::NoSuchContext(_))
+        ));
+    }
+
+    #[test]
+    fn nsm_name_registration_roundtrips() {
+        let (_world, meta) = setup();
+        let qc = QueryClass::hrpc_binding();
+        meta.register_nsm("BIND", &qc, "nsm-hrpcbinding-bind")
+            .expect("register");
+        let fetched = meta.lookup_nsm_name("BIND", &qc).expect("lookup");
+        assert_eq!(fetched.value, "nsm-hrpcbinding-bind");
+        assert_eq!(fetched.rrs, 1);
+    }
+
+    #[test]
+    fn missing_nsm_is_specific_error() {
+        let (_world, meta) = setup();
+        assert!(matches!(
+            meta.lookup_nsm_name("BIND", &QueryClass::mailbox_location()),
+            Err(HnsError::NoSuchNsm { .. })
+        ));
+    }
+
+    #[test]
+    fn nsm_info_occupies_six_records() {
+        let (_world, meta) = setup();
+        let info = sample_info();
+        meta.register_nsm_info(&info).expect("register");
+        let fetched = meta.lookup_nsm_info(&info.nsm_name).expect("lookup");
+        assert_eq!(fetched.value, info);
+        assert_eq!(fetched.rrs, NsmInfo::RECORDS);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let (_world, meta) = setup();
+        meta.register_context(&ctx("c"), "BIND", &NameMapping::Identity)
+            .expect("first");
+        meta.register_context(
+            &ctx("c"),
+            "Clearinghouse",
+            &NameMapping::Suffixed {
+                suffix: ":cs:uw".into(),
+            },
+        )
+        .expect("second");
+        let fetched = meta.lookup_context(&ctx("c")).expect("lookup");
+        assert_eq!(fetched.value.name_service, "Clearinghouse");
+        assert_eq!(fetched.rrs, 1, "replace must not accumulate records");
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        let (_world, meta) = setup();
+        // Contexts with characters illegal in domain labels still work.
+        let context = ctx("hrpcbinding bind/uw");
+        meta.register_context(&context, "BIND", &NameMapping::Identity)
+            .expect("register");
+        assert!(meta.lookup_context(&context).is_ok());
+        assert_eq!(label(""), "x");
+        assert_eq!(label("A b.C"), "a-b-c");
+    }
+
+    #[test]
+    fn meta_lookup_cost_matches_calibration() {
+        // One 1-RR meta lookup: raw_tcp (22) + bind service (8) +
+        // generated miss (20.23) + interface overhead (15.5) ≈ 65.7 ms.
+        let (world, meta) = setup();
+        meta.register_context(&ctx("c"), "BIND", &NameMapping::Identity)
+            .expect("register");
+        let (_, took, delta) = world.measure(|| meta.lookup_context(&ctx("c")));
+        let ms = took.as_ms_f64();
+        assert!((ms - 65.7).abs() < 2.0, "meta lookup took {ms} ms");
+        assert_eq!(delta.remote_calls, 1);
+    }
+
+    #[test]
+    fn six_record_lookup_costs_more() {
+        let (world, meta) = setup();
+        let info = sample_info();
+        meta.register_nsm_info(&info).expect("register");
+        meta.register_context(&ctx("c"), "BIND", &NameMapping::Identity)
+            .expect("register");
+        let (_, one_rr, _) = world.measure(|| meta.lookup_context(&ctx("c")));
+        let (_, six_rr, _) = world.measure(|| meta.lookup_nsm_info(&info.nsm_name));
+        let delta = six_rr.as_ms_f64() - one_rr.as_ms_f64();
+        // gen_miss(6) - gen_miss(1) = 5 * 2.42 = 12.1
+        assert!((delta - 12.1).abs() < 1.0, "delta {delta}");
+    }
+}

@@ -1,0 +1,417 @@
+//! Naming Semantics Managers.
+//!
+//! "Each NSM understands the semantics of naming for a particular query
+//! class and a particular name service. ... All NSMs for a particular
+//! query class have identical client interfaces." The trait below is that
+//! interface; concrete NSMs (for BIND, for the Clearinghouse, per query
+//! class) live in the `nsms` crate.
+//!
+//! "The NSMs are neither HNS nor application code per se. Rather, they are
+//! code managed by the HNS and shared by the applications."
+
+use std::sync::Arc;
+
+use simnet::topology::HostId;
+
+use hrpc::error::{RpcError, RpcResult};
+use hrpc::net::RpcNet;
+use hrpc::server::{CallCtx, RpcService};
+use hrpc::{ComponentSet, HrpcBinding, ProgramId};
+use wire::Value;
+
+use crate::error::{HnsError, HnsResult};
+use crate::name::{Context, HnsName};
+use crate::query::QueryClass;
+
+/// The single NSM procedure: perform a query.
+pub const NSM_PROC_QUERY: u32 = 1;
+
+/// A Naming Semantics Manager.
+pub trait Nsm: Send + Sync {
+    /// Globally unique NSM name (registered in the HNS meta store).
+    fn nsm_name(&self) -> &str;
+
+    /// The query class this NSM serves.
+    fn query_class(&self) -> QueryClass;
+
+    /// Handles one query. `hns_name` is the original HNS name; the NSM
+    /// translates the individual name to the local name, interrogates its
+    /// name service, and returns the query class's standard result format.
+    fn handle(&self, hns_name: &HnsName, args: &Value) -> RpcResult<Value>;
+}
+
+/// Adapts an [`Nsm`] into an RPC service so it can be exported remotely.
+pub struct NsmService {
+    inner: Arc<dyn Nsm>,
+}
+
+impl NsmService {
+    /// Wraps an NSM.
+    pub fn new(inner: Arc<dyn Nsm>) -> Arc<Self> {
+        Arc::new(NsmService { inner })
+    }
+}
+
+impl RpcService for NsmService {
+    fn service_name(&self) -> &str {
+        self.inner.nsm_name()
+    }
+
+    fn dispatch(&self, ctx: &CallCtx<'_>, proc_id: u32, args: &Value) -> RpcResult<Value> {
+        if proc_id != NSM_PROC_QUERY {
+            return Err(RpcError::BadProcedure(proc_id));
+        }
+        let context = Context::new(args.str_field("context")?)
+            .map_err(|e| RpcError::Service(e.to_string()))?;
+        let hns_name = HnsName::new(context, args.str_field("name")?)
+            .map_err(|e| RpcError::Service(e.to_string()))?;
+        ctx.world.trace(
+            Some(ctx.host),
+            simnet::trace::TraceKind::Nsm,
+            format!("{}: query for {}", self.inner.nsm_name(), hns_name),
+        );
+        self.inner.handle(&hns_name, args)
+    }
+}
+
+impl std::fmt::Debug for NsmService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NsmService")
+            .field("nsm", &self.inner.nsm_name())
+            .finish()
+    }
+}
+
+/// Client-side helper for calling NSMs through the identical per-query-class
+/// interface.
+pub struct NsmClient {
+    net: Arc<RpcNet>,
+    host: HostId,
+}
+
+impl NsmClient {
+    /// Creates a client for code running on `host`.
+    pub fn new(net: Arc<RpcNet>, host: HostId) -> Self {
+        NsmClient { net, host }
+    }
+
+    /// Calls the NSM designated by `binding` with the original HNS name
+    /// and any query-specific arguments.
+    pub fn call(
+        &self,
+        binding: &HrpcBinding,
+        hns_name: &HnsName,
+        extra: Vec<(&str, Value)>,
+    ) -> RpcResult<Value> {
+        let world = self.net.world();
+        if !world.topology.colocated(self.host, binding.host) {
+            // Marshalling of the NSM interface arguments on a remote hop.
+            world.charge_ms(world.costs.nsm_arg_marshal);
+        }
+        let mut fields = vec![
+            ("context", Value::str(hns_name.context.as_str())),
+            ("name", Value::str(hns_name.individual.clone())),
+        ];
+        fields.extend(extra);
+        self.net
+            .call(self.host, binding, NSM_PROC_QUERY, &Value::record(fields))
+    }
+}
+
+impl std::fmt::Debug for NsmClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NsmClient")
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
+/// The RPC suite an NSM is reachable through, as stored in the meta store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteTag {
+    /// Sun RPC.
+    Sun,
+    /// Courier.
+    Courier,
+    /// Raw HRPC over TCP.
+    RawTcp,
+    /// Raw HRPC over UDP.
+    RawUdp,
+}
+
+impl SuiteTag {
+    /// Meta-store spelling.
+    pub fn encode(self) -> &'static str {
+        match self {
+            SuiteTag::Sun => "sun",
+            SuiteTag::Courier => "courier",
+            SuiteTag::RawTcp => "rawtcp",
+            SuiteTag::RawUdp => "rawudp",
+        }
+    }
+
+    /// Parses the meta-store spelling.
+    pub fn decode(s: &str) -> HnsResult<SuiteTag> {
+        match s {
+            "sun" => Ok(SuiteTag::Sun),
+            "courier" => Ok(SuiteTag::Courier),
+            "rawtcp" => Ok(SuiteTag::RawTcp),
+            "rawudp" => Ok(SuiteTag::RawUdp),
+            other => Err(HnsError::BadMetaRecord(format!("bad suite `{other}`"))),
+        }
+    }
+
+    /// The component set for calling an NSM at a known port.
+    pub fn components(self, port: u16) -> ComponentSet {
+        match self {
+            SuiteTag::Sun => ComponentSet {
+                binding: hrpc::BindingProtocol::StaticPort(port),
+                ..ComponentSet::sun()
+            },
+            SuiteTag::Courier => ComponentSet {
+                binding: hrpc::BindingProtocol::StaticPort(port),
+                ..ComponentSet::courier()
+            },
+            SuiteTag::RawTcp => ComponentSet::raw_tcp(port),
+            SuiteTag::RawUdp => ComponentSet::raw_udp(port),
+        }
+    }
+}
+
+/// Registration-time description of an NSM: the "binding information"
+/// mapping 3 of `FindNSM` retrieves. Stored as six resource records
+/// ("contains, among other information, the host name on which the NSM
+/// resides").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsmInfo {
+    /// The NSM's registered name.
+    pub nsm_name: String,
+    /// Host name the NSM runs on — itself an HNS-resolvable name.
+    pub host_name: String,
+    /// Context in which `host_name` is interpreted.
+    pub host_context: Context,
+    /// Exported program number.
+    pub program: ProgramId,
+    /// Exported port.
+    pub port: u16,
+    /// RPC suite to call it with.
+    pub suite: SuiteTag,
+    /// Interface version.
+    pub version: u32,
+    /// Administrative owner (who registered it).
+    pub owner: String,
+}
+
+impl NsmInfo {
+    /// Number of resource records this info occupies in the meta store.
+    pub const RECORDS: usize = 6;
+
+    /// Encodes into the six meta-store record payloads.
+    pub fn to_records(&self) -> Vec<String> {
+        vec![
+            format!("host={}", self.host_name),
+            format!("hostctx={}", self.host_context),
+            format!("prog={};port={}", self.program.0, self.port),
+            format!("suite={}", self.suite.encode()),
+            format!("ver={}", self.version),
+            format!("owner={}", self.owner),
+        ]
+    }
+
+    /// Decodes from meta-store record payloads.
+    pub fn from_records(nsm_name: &str, records: &[String]) -> HnsResult<NsmInfo> {
+        let mut host_name = None;
+        let mut host_context = None;
+        let mut program = None;
+        let mut port = None;
+        let mut suite = None;
+        let mut version = None;
+        let mut owner = None;
+        for record in records {
+            for piece in record.split(';') {
+                let (key, value) = piece
+                    .split_once('=')
+                    .ok_or_else(|| HnsError::BadMetaRecord(format!("`{piece}`")))?;
+                match key {
+                    "host" => host_name = Some(value.to_string()),
+                    "hostctx" => host_context = Some(Context::new(value)?),
+                    "prog" => {
+                        program = Some(ProgramId(value.parse().map_err(|_| {
+                            HnsError::BadMetaRecord(format!("bad program `{value}`"))
+                        })?))
+                    }
+                    "port" => {
+                        port =
+                            Some(value.parse().map_err(|_| {
+                                HnsError::BadMetaRecord(format!("bad port `{value}`"))
+                            })?)
+                    }
+                    "suite" => suite = Some(SuiteTag::decode(value)?),
+                    "ver" => {
+                        version = Some(value.parse().map_err(|_| {
+                            HnsError::BadMetaRecord(format!("bad version `{value}`"))
+                        })?)
+                    }
+                    "owner" => owner = Some(value.to_string()),
+                    other => return Err(HnsError::BadMetaRecord(format!("unknown key `{other}`"))),
+                }
+            }
+        }
+        let missing = |what: &str| HnsError::BadMetaRecord(format!("missing {what}"));
+        Ok(NsmInfo {
+            nsm_name: nsm_name.to_string(),
+            host_name: host_name.ok_or_else(|| missing("host"))?,
+            host_context: host_context.ok_or_else(|| missing("hostctx"))?,
+            program: program.ok_or_else(|| missing("prog"))?,
+            port: port.ok_or_else(|| missing("port"))?,
+            suite: suite.ok_or_else(|| missing("suite"))?,
+            version: version.ok_or_else(|| missing("ver"))?,
+            owner: owner.ok_or_else(|| missing("owner"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EchoNsm;
+
+    impl Nsm for EchoNsm {
+        fn nsm_name(&self) -> &str {
+            "nsm-echo"
+        }
+        fn query_class(&self) -> QueryClass {
+            QueryClass::new("Echo")
+        }
+        fn handle(&self, hns_name: &HnsName, _args: &Value) -> RpcResult<Value> {
+            Ok(Value::str(hns_name.individual.clone()))
+        }
+    }
+
+    fn info() -> NsmInfo {
+        NsmInfo {
+            nsm_name: "nsm-hrpcbinding-bind".into(),
+            host_name: "june.cs.washington.edu".into(),
+            host_context: Context::new("bind-uw").expect("ctx"),
+            program: ProgramId(300_001),
+            port: 1025,
+            suite: SuiteTag::Sun,
+            version: 1,
+            owner: "hcs-project".into(),
+        }
+    }
+
+    #[test]
+    fn info_occupies_six_records() {
+        let records = info().to_records();
+        assert_eq!(records.len(), NsmInfo::RECORDS);
+    }
+
+    #[test]
+    fn info_roundtrips_through_records() {
+        let i = info();
+        let records = i.to_records();
+        let back = NsmInfo::from_records(&i.nsm_name, &records).expect("decode");
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn info_rejects_missing_fields() {
+        let records = vec!["host=x".to_string()];
+        assert!(NsmInfo::from_records("n", &records).is_err());
+        let records = vec!["bogus".to_string()];
+        assert!(NsmInfo::from_records("n", &records).is_err());
+        let records = vec!["mystery=1".to_string()];
+        assert!(NsmInfo::from_records("n", &records).is_err());
+    }
+
+    #[test]
+    fn suite_tags_roundtrip() {
+        for tag in [
+            SuiteTag::Sun,
+            SuiteTag::Courier,
+            SuiteTag::RawTcp,
+            SuiteTag::RawUdp,
+        ] {
+            assert_eq!(SuiteTag::decode(tag.encode()).expect("decode"), tag);
+        }
+        assert!(SuiteTag::decode("smoke-signals").is_err());
+    }
+
+    #[test]
+    fn suite_components_use_static_port() {
+        for tag in [
+            SuiteTag::Sun,
+            SuiteTag::Courier,
+            SuiteTag::RawTcp,
+            SuiteTag::RawUdp,
+        ] {
+            let c = tag.components(4242);
+            assert_eq!(c.binding, hrpc::BindingProtocol::StaticPort(4242));
+        }
+    }
+
+    #[test]
+    fn nsm_service_roundtrip_over_fabric() {
+        use simnet::world::World;
+        let world = World::paper();
+        let client_host = world.add_host("client");
+        let nsm_host = world.add_host("nsm-host");
+        let net = RpcNet::new(std::sync::Arc::clone(&world));
+        let svc = NsmService::new(Arc::new(EchoNsm));
+        let port = net.export(nsm_host, ProgramId(300_009), svc);
+        let binding = HrpcBinding {
+            host: nsm_host,
+            addr: simnet::topology::NetAddr::of(nsm_host),
+            program: ProgramId(300_009),
+            port,
+            components: SuiteTag::Sun.components(port),
+        };
+        let client = NsmClient::new(net, client_host);
+        let hns_name = HnsName::new(Context::new("bind-uw").expect("ctx"), "fiji").expect("name");
+        let reply = client.call(&binding, &hns_name, vec![]).expect("call");
+        assert_eq!(reply, Value::str("fiji"));
+    }
+
+    #[test]
+    fn nsm_client_charges_marshalling_only_when_remote() {
+        use simnet::world::World;
+        let world = World::paper();
+        let host = world.add_host("shared");
+        let net = RpcNet::new(std::sync::Arc::clone(&world));
+        let svc = NsmService::new(Arc::new(EchoNsm));
+        let port = net.export(host, ProgramId(300_009), svc);
+        let binding = HrpcBinding {
+            host,
+            addr: simnet::topology::NetAddr::of(host),
+            program: ProgramId(300_009),
+            port,
+            components: SuiteTag::Sun.components(port),
+        };
+        let client = NsmClient::new(net, host);
+        let hns_name = HnsName::new(Context::new("c").expect("ctx"), "x").expect("name");
+        let (_, took, delta) = world.measure(|| client.call(&binding, &hns_name, vec![]));
+        assert!(took.as_ms_f64() < 1.0, "local NSM call took {took}");
+        assert_eq!(delta.remote_calls, 0);
+    }
+
+    #[test]
+    fn nsm_service_rejects_unknown_proc() {
+        use simnet::world::World;
+        let world = World::paper();
+        let host = world.add_host("h");
+        let net = RpcNet::new(std::sync::Arc::clone(&world));
+        let svc = NsmService::new(Arc::new(EchoNsm));
+        let port = net.export(host, ProgramId(300_009), svc);
+        let binding = HrpcBinding {
+            host,
+            addr: simnet::topology::NetAddr::of(host),
+            program: ProgramId(300_009),
+            port,
+            components: SuiteTag::Sun.components(port),
+        };
+        let err = net.call(host, &binding, 77, &Value::Void).unwrap_err();
+        assert!(matches!(err, RpcError::BadProcedure(77)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Query classes.
+//!
+//! A query class names "the type of data to be returned" by an HNS query.
+//! All NSMs for one query class present an identical client interface, so
+//! clients "can call the NSM that the HNS designates without regard to the
+//! name service that NSM uses". Query classes are open-ended strings —
+//! adding one requires no change to the HNS itself, which is the point of
+//! the design.
+
+use std::fmt;
+
+/// A query class identifier (case-insensitive).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryClass(String);
+
+impl QueryClass {
+    /// Creates a query class (normalized to lowercase).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        QueryClass(name.as_ref().to_ascii_lowercase())
+    }
+
+    /// The normalized name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// HRPC binding: name → complete HRPC binding for a service.
+    pub fn hrpc_binding() -> Self {
+        QueryClass::new("HRPCBinding")
+    }
+
+    /// Host address: host name → network address.
+    pub fn host_address() -> Self {
+        QueryClass::new("HostAddress")
+    }
+
+    /// Mailbox location: user name → mailbox host.
+    pub fn mailbox_location() -> Self {
+        QueryClass::new("MailboxLocation")
+    }
+
+    /// File location: file name → file service and path.
+    pub fn file_location() -> Self {
+        QueryClass::new("FileLocation")
+    }
+
+    /// User information: user name → descriptive record.
+    pub fn user_info() -> Self {
+        QueryClass::new("UserInfo")
+    }
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for QueryClass {
+    fn from(s: &str) -> Self {
+        QueryClass::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_case_insensitive() {
+        assert_eq!(
+            QueryClass::new("HRPCBinding"),
+            QueryClass::new("hrpcbinding")
+        );
+        assert_eq!(QueryClass::hrpc_binding().as_str(), "hrpcbinding");
+    }
+
+    #[test]
+    fn well_known_classes_are_distinct() {
+        let all = [
+            QueryClass::hrpc_binding(),
+            QueryClass::host_address(),
+            QueryClass::mailbox_location(),
+            QueryClass::file_location(),
+            QueryClass::user_info(),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn new_classes_need_no_registry() {
+        // Open-ended: any string is a valid query class.
+        let custom = QueryClass::from("PrinterCapabilities");
+        assert_eq!(custom.to_string(), "printercapabilities");
+    }
+}

@@ -1,0 +1,345 @@
+//! The HNS itself: "a collection of library routines" plus the `FindNSM`
+//! operation.
+//!
+//! `FindNSM` "maps a context and query class to the information, called an
+//! HRPC Binding, needed for making an HRPC call to the NSM", implemented as
+//! three separate mappings:
+//!
+//! 1. Context → Name Service Name
+//! 2. Name Service Name, Query Class → NSM Name
+//! 3. NSM Name → HRPC Binding for the NSM
+//!
+//! Mapping 3 stores the NSM's *host name*, so resolving it "is in itself an
+//! HNS naming operation" — mappings 1 and 2 run again for the host-address
+//! query class. "Further recursion is avoided by linking instances of the
+//! NSMs that perform this mapping directly with the HNS, so that their
+//! network addresses need not be found." On a cold cache this costs six
+//! remote data mappings; each is individually cached.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simnet::topology::{HostId, NetAddr};
+use simnet::trace::TraceKind;
+use simnet::world::World;
+
+use bindns::name::DomainName;
+use bindns::resolver::HrpcResolver;
+use hrpc::net::RpcNet;
+use hrpc::{HrpcBinding, RpcError};
+use wire::Value;
+
+use crate::cache::{CacheMode, HnsCache, HnsCacheStats, MetaKey};
+use crate::error::{HnsError, HnsResult};
+use crate::meta::{ContextInfo, Fetched, MetaStore};
+use crate::name::{Context, HnsName, NameMapping};
+use crate::nsm::{Nsm, NsmInfo};
+use crate::query::QueryClass;
+
+/// One HNS instance: meta-store client, cache, and linked NSMs.
+///
+/// Instances can be linked into a client process, run as a remote server
+/// (see [`crate::colocation::HnsService`]), or linked into an agent — the
+/// colocation arrangements of Table 3.1.
+pub struct Hns {
+    net: Arc<RpcNet>,
+    host: HostId,
+    meta: MetaStore,
+    meta_binding: HrpcBinding,
+    cache: HnsCache,
+    linked_nsms: RwLock<HashMap<String, Arc<dyn Nsm>>>,
+}
+
+/// Result of a cache preload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreloadReport {
+    /// Meta records transferred.
+    pub records: usize,
+    /// Zone bytes transferred.
+    pub bytes: usize,
+    /// Cache entries created.
+    pub entries: usize,
+}
+
+impl Hns {
+    /// Creates an HNS instance running on `host`, speaking to the modified
+    /// BIND behind `meta_binding` whose meta zone is rooted at `origin`.
+    pub fn new(
+        net: Arc<RpcNet>,
+        host: HostId,
+        meta_binding: HrpcBinding,
+        origin: DomainName,
+        cache_mode: CacheMode,
+    ) -> Self {
+        let resolver = HrpcResolver::new(Arc::clone(&net), host, meta_binding);
+        Hns {
+            net,
+            host,
+            meta: MetaStore::new(resolver, origin),
+            meta_binding,
+            cache: HnsCache::new(cache_mode),
+            linked_nsms: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The host this instance runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The fabric.
+    pub fn net(&self) -> &Arc<RpcNet> {
+        &self.net
+    }
+
+    /// The simulation environment.
+    pub fn world(&self) -> &Arc<World> {
+        self.net.world()
+    }
+
+    /// The meta store (for registration tooling).
+    pub fn meta(&self) -> &MetaStore {
+        &self.meta
+    }
+
+    /// Links an NSM instance directly with this HNS (the recursion-breaking
+    /// arrangement for host-address NSMs).
+    pub fn link_nsm(&self, nsm: Arc<dyn Nsm>) {
+        self.linked_nsms
+            .write()
+            .insert(nsm.nsm_name().to_string(), nsm);
+    }
+
+    /// Registers a context with its name service and name mapping.
+    pub fn register_context(
+        &self,
+        context: &Context,
+        name_service: &str,
+        mapping: &NameMapping,
+    ) -> HnsResult<()> {
+        self.meta.register_context(context, name_service, mapping)
+    }
+
+    /// Registers which NSM serves a (name service, query class) pair.
+    ///
+    /// "Registering an NSM with the HNS extends the functionality of all
+    /// machines at once."
+    pub fn register_nsm(
+        &self,
+        name_service: &str,
+        qc: &QueryClass,
+        nsm_name: &str,
+    ) -> HnsResult<()> {
+        self.meta.register_nsm(name_service, qc, nsm_name)
+    }
+
+    /// Registers an NSM's binding information.
+    pub fn register_nsm_info(&self, info: &NsmInfo) -> HnsResult<()> {
+        self.meta.register_nsm_info(info)
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> HnsCacheStats {
+        self.cache.stats()
+    }
+
+    /// Clears the cache.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Switches cache mode (clears contents).
+    pub fn set_cache_mode(&self, mode: CacheMode) {
+        self.cache.set_mode(mode);
+    }
+
+    /// Current cache mode.
+    pub fn cache_mode(&self) -> CacheMode {
+        self.cache.mode()
+    }
+
+    /// One cached meta fetch: payload strings at `key`.
+    fn cached_fetch(&self, key: &DomainName) -> HnsResult<Fetched<Vec<String>>> {
+        self.world().charge_ms(self.world().costs.hns_bookkeeping);
+        let cache_key = MetaKey::Meta(key.clone());
+        if let Some(v) = self.cache.get(self.world(), &cache_key) {
+            let payloads: Vec<String> = v
+                .as_list()
+                .map_err(HnsError::from)?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string).map_err(HnsError::from))
+                .collect::<HnsResult<_>>()?;
+            let rrs = payloads.len();
+            return Ok(Fetched {
+                value: payloads,
+                rrs,
+                ttl_secs: 0,
+            });
+        }
+        let fetched = self.meta.fetch(key)?;
+        let value = Value::List(fetched.value.iter().map(Value::str).collect());
+        self.cache.insert(
+            self.world(),
+            cache_key,
+            &value,
+            fetched.rrs,
+            fetched.ttl_secs,
+        );
+        Ok(fetched)
+    }
+
+    /// Mapping 1 (or 4): context → name service, through the cache.
+    pub fn context_info(&self, context: &Context) -> HnsResult<ContextInfo> {
+        let key = self.meta.context_key(context)?;
+        let fetched = self.cached_fetch(&key).map_err(|e| match e {
+            HnsError::Rpc(RpcError::NotFound(_)) => {
+                HnsError::NoSuchContext(context.as_str().to_string())
+            }
+            other => other,
+        })?;
+        MetaStore::parse_context(&fetched.value)
+    }
+
+    /// Mapping 2 (or 5): (name service, query class) → NSM name.
+    pub fn nsm_name(&self, name_service: &str, qc: &QueryClass) -> HnsResult<String> {
+        let key = self.meta.nsm_name_key(name_service, qc)?;
+        let fetched = self.cached_fetch(&key).map_err(|e| match e {
+            HnsError::Rpc(RpcError::NotFound(_)) => HnsError::NoSuchNsm {
+                name_service: name_service.to_string(),
+                query_class: qc.as_str().to_string(),
+            },
+            other => other,
+        })?;
+        MetaStore::parse_nsm_name(&fetched.value)
+    }
+
+    /// Mapping 3 (first half): NSM name → binding information.
+    pub fn nsm_info(&self, nsm_name: &str) -> HnsResult<NsmInfo> {
+        let key = self.meta.nsm_info_key(nsm_name)?;
+        let fetched = self.cached_fetch(&key)?;
+        NsmInfo::from_records(nsm_name, &fetched.value)
+    }
+
+    /// Mapping 6: NSM host name → address, via the linked host-address NSM
+    /// for the host's name service, through the cache.
+    fn host_address(
+        &self,
+        host_ns: &str,
+        ha_nsm_name: &str,
+        host_name: &str,
+        host_context: &Context,
+    ) -> HnsResult<HostId> {
+        self.world().charge_ms(self.world().costs.hns_bookkeeping);
+        let cache_key = MetaKey::HostAddr(host_ns.to_string(), host_name.to_string());
+        if let Some(v) = self.cache.get(self.world(), &cache_key) {
+            return Ok(HostId(v.u32_field("host").map_err(HnsError::from)?));
+        }
+        let linked = self
+            .linked_nsms
+            .read()
+            .get(ha_nsm_name)
+            .cloned()
+            .ok_or_else(|| HnsError::NoLinkedHostAddrNsm(host_ns.to_string()))?;
+        let hns_name = HnsName::new(host_context.clone(), host_name)?;
+        let reply = linked
+            .handle(&hns_name, &Value::Void)
+            .map_err(HnsError::Rpc)?;
+        let host = HostId(reply.u32_field("host").map_err(HnsError::from)?);
+        let ttl = reply.u32_field("ttl").unwrap_or(crate::meta::META_TTL);
+        self.cache.insert(self.world(), cache_key, &reply, 1, ttl);
+        Ok(host)
+    }
+
+    /// The primary HNS function: maps a context and query class to an HRPC
+    /// binding for the NSM that can serve the query.
+    pub fn find_nsm(&self, qc: &QueryClass, name: &HnsName) -> HnsResult<HrpcBinding> {
+        self.world().trace(
+            Some(self.host),
+            TraceKind::Hns,
+            format!("FindNSM(query class {qc}, name {name})"),
+        );
+        // Mapping 1: Context -> Name Service Name.
+        let ctx_info = self.context_info(&name.context)?;
+        // Mapping 2: Name Service Name, Query Class -> NSM Name.
+        let nsm_name = self.nsm_name(&ctx_info.name_service, qc)?;
+        // Mapping 3: NSM Name -> HRPC Binding for the NSM. The stored info
+        // names the NSM's host; translating that is itself an HNS naming
+        // operation (mappings 4-6).
+        let info = self.nsm_info(&nsm_name)?;
+        let host_ctx_info = self.context_info(&info.host_context)?;
+        let ha_nsm = self.nsm_name(&host_ctx_info.name_service, &QueryClass::host_address())?;
+        let host = self.host_address(
+            &host_ctx_info.name_service,
+            &ha_nsm,
+            &info.host_name,
+            &info.host_context,
+        )?;
+        let binding = HrpcBinding {
+            host,
+            addr: NetAddr::of(host),
+            program: info.program,
+            port: info.port,
+            components: info.suite.components(info.port),
+        };
+        self.world().trace(
+            Some(self.host),
+            TraceKind::Hns,
+            format!("FindNSM -> {nsm_name} at {host}:{}", info.port),
+        );
+        Ok(binding)
+    }
+
+    /// Preloads the cache by zone transfer of the whole meta zone.
+    ///
+    /// "The cost of the many remote lookups required on the initial
+    /// reference ... might exceed the cost of preloading the relatively
+    /// small amount of information (currently about 2KB) required to
+    /// guarantee HNS cache hits."
+    pub fn preload(&self) -> HnsResult<PreloadReport> {
+        let xfer = bindns::axfr::transfer_zone(
+            &self.net,
+            self.host,
+            &self.meta_binding,
+            self.meta.origin(),
+        )
+        .map_err(HnsError::Rpc)?;
+        // Group records by owner name, preserving record order.
+        let mut grouped: Vec<(DomainName, Vec<String>, u32)> = Vec::new();
+        for rr in &xfer.records {
+            let payload = match &rr.rdata {
+                bindns::rr::RData::Opaque(bytes) => String::from_utf8(bytes.clone())
+                    .map_err(|_| HnsError::BadMetaRecord("non-UTF-8 payload".into()))?,
+                _ => continue, // Only UNSPEC meta records preload.
+            };
+            match grouped.iter_mut().find(|(n, _, _)| *n == rr.name) {
+                Some((_, payloads, ttl)) => {
+                    payloads.push(payload);
+                    *ttl = (*ttl).min(rr.ttl);
+                }
+                None => grouped.push((rr.name.clone(), vec![payload], rr.ttl)),
+            }
+        }
+        let entries = grouped.len();
+        for (name, payloads, ttl) in grouped {
+            let rrs = payloads.len();
+            let value = Value::List(payloads.iter().map(Value::str).collect());
+            self.cache
+                .preload_insert(self.world(), MetaKey::Meta(name), &value, rrs, ttl);
+        }
+        Ok(PreloadReport {
+            records: xfer.records.len(),
+            bytes: xfer.size_bytes,
+            entries,
+        })
+    }
+}
+
+impl std::fmt::Debug for Hns {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hns")
+            .field("host", &self.host)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}

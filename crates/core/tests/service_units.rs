@@ -1,0 +1,417 @@
+//! Unit-level tests of the HNS service and colocation machinery using a
+//! minimal environment (no concrete NSM crate): a modified BIND as meta
+//! store, a public BIND for addresses, and a stub host-address NSM.
+
+use std::sync::Arc;
+
+use bindns::name::DomainName;
+use bindns::server::{deploy as deploy_bind, single_zone_server, BindDeployment};
+use bindns::zone::Zone;
+use hns_core::cache::CacheMode;
+use hns_core::colocation::{
+    AgentClient, AgentService, HnsClient, HnsHandle, HnsService, AGENT_PROGRAM, HNS_PROGRAM,
+};
+use hns_core::name::{Context, HnsName, NameMapping};
+use hns_core::nsm::{Nsm, NsmInfo, NsmService, SuiteTag};
+use hns_core::query::QueryClass;
+use hns_core::service::Hns;
+use hns_core::HnsError;
+use hrpc::net::RpcNet;
+use hrpc::server::ProcServer;
+use hrpc::{ComponentSet, HrpcBinding, ProgramId, RpcError};
+use simnet::topology::{HostId, NetAddr};
+use simnet::world::World;
+use wire::Value;
+
+/// A stub host-address NSM answering from a fixed table.
+struct StubHostAddr {
+    name: &'static str,
+    table: Vec<(String, u32)>,
+}
+
+impl Nsm for StubHostAddr {
+    fn nsm_name(&self) -> &str {
+        self.name
+    }
+    fn query_class(&self) -> QueryClass {
+        QueryClass::host_address()
+    }
+    fn handle(&self, hns_name: &HnsName, _args: &Value) -> Result<Value, RpcError> {
+        self.table
+            .iter()
+            .find(|(n, _)| *n == hns_name.individual)
+            .map(|(_, host)| {
+                Ok(Value::record(vec![
+                    ("host", Value::U32(*host)),
+                    ("ttl", Value::U32(600)),
+                ]))
+            })
+            .unwrap_or_else(|| Err(RpcError::NotFound(hns_name.individual.clone())))
+    }
+}
+
+/// A stub query NSM for an arbitrary class.
+struct StubEcho;
+
+impl Nsm for StubEcho {
+    fn nsm_name(&self) -> &str {
+        "nsm-echo-stub"
+    }
+    fn query_class(&self) -> QueryClass {
+        QueryClass::new("Echo")
+    }
+    fn handle(&self, hns_name: &HnsName, _args: &Value) -> Result<Value, RpcError> {
+        Ok(Value::str(format!("echo:{}", hns_name.individual)))
+    }
+}
+
+struct Env {
+    world: Arc<World>,
+    net: Arc<RpcNet>,
+    client: HostId,
+    hns_host: HostId,
+    nsm_host: HostId,
+    meta: BindDeployment,
+}
+
+fn env() -> Env {
+    let world = World::paper();
+    let client = world.add_host("client");
+    let hns_host = world.add_host("hns-server");
+    let nsm_host = world.add_host("nsm-server");
+    let meta_host = world.add_host("meta-bind");
+    let net = RpcNet::new(Arc::clone(&world));
+    let zone = Zone::new(DomainName::parse("hns").expect("origin"), 600);
+    let meta = deploy_bind(&net, meta_host, single_zone_server("meta-bind", zone, true));
+    Env {
+        world,
+        net,
+        client,
+        hns_host,
+        nsm_host,
+        meta,
+    }
+}
+
+fn make_hns(env: &Env, host: HostId, mode: CacheMode) -> Arc<Hns> {
+    let hns = Arc::new(Hns::new(
+        Arc::clone(&env.net),
+        host,
+        env.meta.hrpc_binding,
+        DomainName::parse("hns").expect("origin"),
+        mode,
+    ));
+    hns.link_nsm(Arc::new(StubHostAddr {
+        name: "nsm-hostaddress-stub",
+        table: vec![("nsm-server".to_string(), env.nsm_host.0)],
+    }));
+    hns
+}
+
+/// Registers the echo NSM end to end: context, names, info, export.
+fn register_echo(env: &Env, hns: &Hns) -> u16 {
+    let ctx = Context::new("stub-ctx").expect("ctx");
+    hns.register_context(&ctx, "StubNS", &NameMapping::Identity)
+        .expect("ctx");
+    hns.register_nsm("StubNS", &QueryClass::new("Echo"), "nsm-echo-stub")
+        .expect("nsm");
+    hns.register_nsm(
+        "StubNS",
+        &QueryClass::host_address(),
+        "nsm-hostaddress-stub",
+    )
+    .expect("ha nsm");
+    let port = env.net.export(
+        env.nsm_host,
+        ProgramId(999),
+        NsmService::new(Arc::new(StubEcho)),
+    );
+    hns.register_nsm_info(&NsmInfo {
+        nsm_name: "nsm-echo-stub".into(),
+        host_name: "nsm-server".into(),
+        host_context: ctx,
+        program: ProgramId(999),
+        port,
+        suite: SuiteTag::Sun,
+        version: 1,
+        owner: "test".into(),
+    })
+    .expect("info");
+    port
+}
+
+fn echo_name() -> HnsName {
+    HnsName::new(Context::new("stub-ctx").expect("ctx"), "any-entity").expect("name")
+}
+
+#[test]
+fn linked_hns_resolves_via_stub_nsm() {
+    let env = env();
+    let hns = make_hns(&env, env.client, CacheMode::Demarshalled);
+    let port = register_echo(&env, &hns);
+    let binding = hns
+        .find_nsm(&QueryClass::new("Echo"), &echo_name())
+        .expect("find");
+    assert_eq!(binding.host, env.nsm_host);
+    assert_eq!(binding.port, port);
+    // And the NSM is callable through the returned binding.
+    let nsm_client = hns_core::nsm::NsmClient::new(Arc::clone(&env.net), env.client);
+    let reply = nsm_client
+        .call(&binding, &echo_name(), vec![])
+        .expect("call");
+    assert_eq!(reply, Value::str("echo:any-entity"));
+}
+
+#[test]
+fn missing_linked_host_addr_nsm_is_reported() {
+    let env = env();
+    let hns = Arc::new(Hns::new(
+        Arc::clone(&env.net),
+        env.client,
+        env.meta.hrpc_binding,
+        DomainName::parse("hns").expect("origin"),
+        CacheMode::Demarshalled,
+    ));
+    // Registrations done by a fully-linked instance...
+    let registrar = make_hns(&env, env.client, CacheMode::Disabled);
+    register_echo(&env, &registrar);
+    // ...but this instance lacks the linked host-address NSM.
+    let err = hns
+        .find_nsm(&QueryClass::new("Echo"), &echo_name())
+        .unwrap_err();
+    assert!(matches!(err, HnsError::NoLinkedHostAddrNsm(_)), "{err}");
+}
+
+#[test]
+fn remote_hns_service_and_client_roundtrip() {
+    let env = env();
+    let hns = make_hns(&env, env.hns_host, CacheMode::Demarshalled);
+    register_echo(&env, &hns);
+    let port = env
+        .net
+        .export(env.hns_host, HNS_PROGRAM, HnsService::new(Arc::clone(&hns)));
+    let binding = HrpcBinding {
+        host: env.hns_host,
+        addr: NetAddr::of(env.hns_host),
+        program: HNS_PROGRAM,
+        port,
+        components: ComponentSet::raw_tcp(port),
+    };
+    let client = HnsClient::new(Arc::clone(&env.net), env.client, HnsHandle::Remote(binding));
+    let (found, took, delta) = env
+        .world
+        .measure(|| client.find_nsm(&QueryClass::new("Echo"), &echo_name()));
+    let found = found.expect("remote find");
+    assert_eq!(found.host, env.nsm_host);
+    // One client->HNS remote hop plus the HNS's cold meta mappings (the
+    // stub environment shares the host context with the query context, so
+    // mapping 4 hits the cache and the linked HA stub is local).
+    assert!(
+        delta.remote_calls >= 5,
+        "remote calls {}",
+        delta.remote_calls
+    );
+    assert!(took.as_ms_f64() > 50.0);
+
+    // Remote errors propagate with meaning.
+    let missing = HnsName::new(Context::new("ghost").expect("ctx"), "x").expect("name");
+    let err = client
+        .find_nsm(&QueryClass::new("Echo"), &missing)
+        .unwrap_err();
+    assert!(matches!(err, HnsError::Rpc(RpcError::NotFound(_))), "{err}");
+}
+
+#[test]
+fn linked_handle_is_free_of_hop_costs() {
+    let env = env();
+    let hns = make_hns(&env, env.client, CacheMode::Demarshalled);
+    register_echo(&env, &hns);
+    let client = HnsClient::new(
+        Arc::clone(&env.net),
+        env.client,
+        HnsHandle::Linked(Arc::clone(&hns)),
+    );
+    client
+        .find_nsm(&QueryClass::new("Echo"), &echo_name())
+        .expect("warm");
+    let (r, took, delta) = env
+        .world
+        .measure(|| client.find_nsm(&QueryClass::new("Echo"), &echo_name()));
+    r.expect("warm find");
+    assert_eq!(delta.remote_calls, 0);
+    assert!(took.as_ms_f64() < 10.0, "took {took}");
+}
+
+#[test]
+fn agent_service_performs_find_and_call_in_one_hop() {
+    let env = env();
+    let agent_host = env.world.add_host("agent");
+    // Everything linked at the agent: HNS + (exported-on-agent) NSM.
+    let hns = make_hns(&env, agent_host, CacheMode::Demarshalled);
+    let ctx = Context::new("stub-ctx").expect("ctx");
+    hns.register_context(&ctx, "StubNS", &NameMapping::Identity)
+        .expect("ctx");
+    hns.register_nsm("StubNS", &QueryClass::new("Echo"), "nsm-echo-stub")
+        .expect("nsm");
+    hns.register_nsm(
+        "StubNS",
+        &QueryClass::host_address(),
+        "nsm-hostaddress-stub",
+    )
+    .expect("ha");
+    let port = env.net.export(
+        agent_host,
+        ProgramId(999),
+        NsmService::new(Arc::new(StubEcho)),
+    );
+    hns.register_nsm_info(&NsmInfo {
+        nsm_name: "nsm-echo-stub".into(),
+        host_name: "nsm-server".into(),
+        host_context: ctx,
+        program: ProgramId(999),
+        port,
+        suite: SuiteTag::Sun,
+        version: 1,
+        owner: "test".into(),
+    })
+    .expect("info");
+    // The stub host-addr NSM must point "nsm-server" at the agent host so
+    // the NSM call stays local to the agent.
+    hns.link_nsm(Arc::new(StubHostAddr {
+        name: "nsm-hostaddress-stub",
+        table: vec![("nsm-server".to_string(), agent_host.0)],
+    }));
+
+    let agent_port = env.net.export(
+        agent_host,
+        AGENT_PROGRAM,
+        AgentService::new(Arc::clone(&hns), agent_host),
+    );
+    let agent_binding = HrpcBinding {
+        host: agent_host,
+        addr: NetAddr::of(agent_host),
+        program: AGENT_PROGRAM,
+        port: agent_port,
+        components: ComponentSet::raw_tcp(agent_port),
+    };
+    let client = AgentClient::new(Arc::clone(&env.net), env.client, agent_binding);
+    let (reply, _, delta) = env
+        .world
+        .measure(|| client.query(&QueryClass::new("Echo"), &echo_name(), vec![]));
+    assert_eq!(reply.expect("agent query"), Value::str("echo:any-entity"));
+    // One client-visible remote hop plus the agent's cold meta lookups;
+    // the NSM call itself was local to the agent.
+    assert!(
+        delta.remote_calls >= 5,
+        "remote calls {}",
+        delta.remote_calls
+    );
+    // Warm: a single remote call end to end.
+    let (_, _, delta) = env
+        .world
+        .measure(|| client.query(&QueryClass::new("Echo"), &echo_name(), vec![]));
+    assert_eq!(delta.remote_calls, 1, "warm agent query is one hop");
+}
+
+#[test]
+fn hns_service_rejects_unknown_procedures_and_bad_args() {
+    let env = env();
+    let hns = make_hns(&env, env.hns_host, CacheMode::Demarshalled);
+    let port = env
+        .net
+        .export(env.hns_host, HNS_PROGRAM, HnsService::new(hns));
+    let binding = HrpcBinding {
+        host: env.hns_host,
+        addr: NetAddr::of(env.hns_host),
+        program: HNS_PROGRAM,
+        port,
+        components: ComponentSet::raw_tcp(port),
+    };
+    assert!(matches!(
+        env.net.call(env.client, &binding, 42, &Value::Void),
+        Err(RpcError::BadProcedure(42))
+    ));
+    assert!(env
+        .net
+        .call(
+            env.client,
+            &binding,
+            1,
+            &Value::record(vec![("nonsense", Value::U32(1))])
+        )
+        .is_err());
+}
+
+#[test]
+fn preload_from_minimal_meta_zone_works() {
+    let env = env();
+    let hns = make_hns(&env, env.client, CacheMode::Marshalled);
+    register_echo(&env, &hns);
+    let report = hns.preload().expect("preload");
+    assert!(report.records >= 4, "records {}", report.records);
+    assert_eq!(report.entries, 4, "ctx + 2 map entries + info");
+    assert!(report.bytes > 0);
+    // All meta mappings hit; only the stub host-addr result is computed.
+    let (_, _, delta) = env
+        .world
+        .measure(|| hns.find_nsm(&QueryClass::new("Echo"), &echo_name()));
+    assert_eq!(
+        delta.remote_calls, 0,
+        "stub HA NSM is local; all meta preloaded"
+    );
+}
+
+#[test]
+fn cache_mode_switches_clear_state() {
+    let env = env();
+    let hns = make_hns(&env, env.client, CacheMode::Marshalled);
+    register_echo(&env, &hns);
+    hns.find_nsm(&QueryClass::new("Echo"), &echo_name())
+        .expect("warm");
+    assert!(hns.cache_stats().inserts > 0);
+    hns.set_cache_mode(CacheMode::Demarshalled);
+    assert_eq!(hns.cache_mode(), CacheMode::Demarshalled);
+    let (_, _, delta) = env
+        .world
+        .measure(|| hns.find_nsm(&QueryClass::new("Echo"), &echo_name()));
+    assert!(delta.remote_calls > 0, "mode switch must drop entries");
+}
+
+#[test]
+fn unserved_meta_store_failure_propagates() {
+    let env = env();
+    let hns = make_hns(&env, env.client, CacheMode::Demarshalled);
+    register_echo(&env, &hns);
+    // The meta BIND goes down.
+    env.net.unexport(env.meta.host, bindns::DNS_PORT);
+    let err = hns
+        .find_nsm(&QueryClass::new("Echo"), &echo_name())
+        .unwrap_err();
+    assert!(
+        matches!(err, HnsError::Rpc(RpcError::NoSuchService { .. })),
+        "{err}"
+    );
+}
+
+#[test]
+fn registration_is_visible_through_a_different_instance() {
+    // "registering an NSM with the HNS extends the functionality of all
+    // machines at once": instance B sees what instance A registered.
+    let env = env();
+    let a = make_hns(&env, env.client, CacheMode::Disabled);
+    register_echo(&env, &a);
+    let b = make_hns(&env, env.hns_host, CacheMode::Demarshalled);
+    let binding = b
+        .find_nsm(&QueryClass::new("Echo"), &echo_name())
+        .expect("find via B");
+    assert_eq!(binding.host, env.nsm_host);
+}
+
+#[test]
+fn echo_proc_server_is_reusable_between_tests() {
+    // Guard against accidental double-export panics in the environment.
+    let env = env();
+    let extra = Arc::new(ProcServer::new("spare").with_proc(1, |_c, a| Ok(a.clone())));
+    let port = env.net.export(env.nsm_host, ProgramId(31_337), extra);
+    assert!(port >= 1024);
+}

@@ -1,0 +1,612 @@
+//! The RPC fabric: service export, port assignment, and synchronous calls
+//! with virtual-time charging.
+//!
+//! Cost accounting rules (kept strict so nothing is double-charged):
+//!
+//! * `RpcNet::call` charges only *network* costs: the suite's round-trip
+//!   overhead plus a per-kilobyte component, or the (effectively zero)
+//!   local-call cost when caller and server are colocated.
+//! * Interface-specific marshalling costs (Table 3.2's generated vs fast
+//!   paths, `FindNSM` argument marshalling on remote hops, …) are charged
+//!   by the *caller* that owns that interface.
+//! * Server-side service time (BIND lookup, Clearinghouse auth + disk) is
+//!   charged inside the service's `dispatch`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use simnet::rng::DetRng;
+use simnet::topology::{HostId, NetAddr};
+use simnet::trace::TraceKind;
+use simnet::world::World;
+use wire::Value;
+
+use crate::binding::{HrpcBinding, ProgramId};
+use crate::components::ComponentSet;
+use crate::error::{RpcError, RpcResult};
+use crate::server::{CallCtx, RpcService};
+
+/// Well-known port of the per-host Sun portmapper.
+pub const PORTMAP_PORT: u16 = 111;
+/// Well-known port of the per-host Courier exchange listener.
+pub const EXCHANGE_PORT: u16 = 5;
+/// Portmapper procedure: map a program number to its port.
+pub const PMAP_GETPORT: u32 = 3;
+/// Courier exchange procedure: map a service name to its port.
+pub const EXCHANGE_RESOLVE: u32 = 1;
+
+/// First dynamically assigned port.
+const FIRST_DYNAMIC_PORT: u16 = 1024;
+
+#[derive(Default)]
+struct NetTables {
+    services: HashMap<(HostId, u16), Arc<dyn RpcService>>,
+    /// Per-host portmapper table: program number → (port, service name).
+    programs: HashMap<(HostId, u32), (u16, String)>,
+    /// Per-host Courier exchange table: service name → port.
+    by_name: HashMap<(HostId, String), u16>,
+    next_port: HashMap<HostId, u16>,
+}
+
+/// Deterministic datagram-loss injection.
+#[derive(Debug)]
+pub struct LossPlan {
+    /// Probability that any single datagram attempt is lost.
+    pub drop_prob: f64,
+    rng: DetRng,
+}
+
+impl LossPlan {
+    /// Creates a loss plan with the given drop probability and seed.
+    pub fn new(drop_prob: f64, seed: u64) -> Self {
+        LossPlan {
+            drop_prob,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    fn drops(&mut self) -> bool {
+        self.rng.chance(self.drop_prob)
+    }
+}
+
+/// Reply-cache entries kept before the at-most-once table is flushed.
+const REPLY_CACHE_LIMIT: usize = 65_536;
+
+/// The RPC fabric shared by all simulated components.
+pub struct RpcNet {
+    world: Arc<World>,
+    tables: RwLock<NetTables>,
+    loss: Mutex<Option<LossPlan>>,
+    next_xid: std::sync::atomic::AtomicU64,
+    /// At-most-once reply cache, keyed by (caller, call id).
+    replies: Mutex<HashMap<(HostId, u64), Value>>,
+}
+
+impl RpcNet {
+    /// Creates a fabric over `world`.
+    pub fn new(world: Arc<World>) -> Arc<Self> {
+        Arc::new(RpcNet {
+            world,
+            tables: RwLock::new(NetTables::default()),
+            loss: Mutex::new(None),
+            next_xid: std::sync::atomic::AtomicU64::new(1),
+            replies: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The underlying simulation environment.
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// Installs (or clears) datagram loss injection.
+    pub fn set_loss(&self, plan: Option<LossPlan>) {
+        *self.loss.lock() = plan;
+    }
+
+    /// Exports `service` on `host` under `program`, assigning a fresh port.
+    ///
+    /// The program is registered with the host's portmapper and the service
+    /// name with its Courier exchange listener, so both binding protocols
+    /// can find it.
+    pub fn export(&self, host: HostId, program: ProgramId, service: Arc<dyn RpcService>) -> u16 {
+        let mut t = self.tables.write();
+        let port_ref = t.next_port.entry(host).or_insert(FIRST_DYNAMIC_PORT);
+        let port = *port_ref;
+        *port_ref += 1;
+        let name = service.service_name().to_string();
+        t.services.insert((host, port), service);
+        t.programs.insert((host, program.0), (port, name.clone()));
+        t.by_name.insert((host, name), port);
+        port
+    }
+
+    /// Exports `service` at a fixed well-known port (e.g. a DNS server at
+    /// port 53). Also registers program and name mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already taken on that host or collides with a
+    /// built-in service port.
+    pub fn export_at(
+        &self,
+        host: HostId,
+        port: u16,
+        program: ProgramId,
+        service: Arc<dyn RpcService>,
+    ) {
+        assert!(
+            port != PORTMAP_PORT && port != EXCHANGE_PORT,
+            "port {port} is reserved for a built-in service"
+        );
+        let mut t = self.tables.write();
+        assert!(
+            !t.services.contains_key(&(host, port)),
+            "port {port} already exported on {host}"
+        );
+        let name = service.service_name().to_string();
+        t.services.insert((host, port), service);
+        t.programs.insert((host, program.0), (port, name.clone()));
+        t.by_name.insert((host, name), port);
+    }
+
+    /// Removes an exported service (used by failure-injection tests).
+    pub fn unexport(&self, host: HostId, port: u16) {
+        let mut t = self.tables.write();
+        if let Some(service) = t.services.remove(&(host, port)) {
+            let name = service.service_name().to_string();
+            t.by_name.remove(&(host, name));
+            t.programs.retain(|_, (p, _)| *p != port);
+        }
+    }
+
+    fn lookup_service(&self, host: HostId, port: u16) -> RpcResult<Arc<dyn RpcService>> {
+        self.tables
+            .read()
+            .services
+            .get(&(host, port))
+            .cloned()
+            .ok_or(RpcError::NoSuchService { host, port })
+    }
+
+    /// Looks up a program's port via the host's portmapper table (the
+    /// server side of [`PMAP_GETPORT`]).
+    pub fn portmap_getport(&self, host: HostId, program: ProgramId) -> RpcResult<u16> {
+        self.tables
+            .read()
+            .programs
+            .get(&(host, program.0))
+            .map(|(p, _)| *p)
+            .ok_or(RpcError::NoSuchProgram {
+                host,
+                program: program.0,
+            })
+    }
+
+    /// Looks up a service's port by name via the host's Courier exchange
+    /// table (the server side of [`EXCHANGE_RESOLVE`]).
+    pub fn exchange_resolve(&self, host: HostId, name: &str) -> RpcResult<u16> {
+        self.tables
+            .read()
+            .by_name
+            .get(&(host, name.to_string()))
+            .copied()
+            .ok_or_else(|| RpcError::NotFound(format!("service `{name}` on {host}")))
+    }
+
+    fn datagram_dropped(&self) -> bool {
+        self.loss
+            .lock()
+            .as_mut()
+            .map(LossPlan::drops)
+            .unwrap_or(false)
+    }
+
+    /// Makes a synchronous call through `binding`, charging network costs.
+    ///
+    /// Datagram transports may lose the request or the reply; the control
+    /// protocol retransmits up to its attempt budget. When a reply is lost
+    /// the server has already executed the call — a control protocol with
+    /// at-most-once bookkeeping answers the retransmission from its reply
+    /// cache, while the plain Raw suite re-executes (observable duplicate
+    /// effects, the classic datagram caveat).
+    pub fn call(
+        &self,
+        caller: HostId,
+        binding: &HrpcBinding,
+        proc_id: u32,
+        args: &Value,
+    ) -> RpcResult<Value> {
+        let components = binding.components;
+        // Data flows through the real wire representation: encode at the
+        // caller, decode at the server, and the same for the reply.
+        let req_bytes = components.data_rep.encode(args)?;
+        let decoded_args = components.data_rep.decode(&req_bytes)?;
+
+        if self.world.topology.colocated(caller, binding.host) {
+            self.world.charge_ms(self.world.costs.local_call);
+            self.world.count_local_call();
+            let reply = self.serve(caller, binding, proc_id, &decoded_args)?;
+            let reply_bytes = components.data_rep.encode(&reply)?;
+            return Ok(components.data_rep.decode(&reply_bytes)?);
+        }
+
+        let rtt = self.world.costs.rpc_rtt(components.suite_kind());
+        let per_req = rtt + self.world.costs.per_kb * req_bytes.len() as f64 / 1024.0;
+        let datagram = components.transport.is_datagram();
+        let max_attempts = if datagram {
+            components.control.max_attempts()
+        } else {
+            1
+        };
+        let xid = self
+            .next_xid
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            self.world.charge_ms(per_req);
+            self.world.count_remote_call(req_bytes.len() as u64);
+
+            // Request leg.
+            if datagram && self.datagram_dropped() {
+                self.world.trace(
+                    Some(caller),
+                    TraceKind::Rpc,
+                    format!("request to {} lost (attempt {attempts})", binding.host),
+                );
+                if attempts >= max_attempts {
+                    return Err(RpcError::Timeout { attempts });
+                }
+                continue;
+            }
+
+            // Execution, with at-most-once duplicate suppression where the
+            // control protocol keeps call state.
+            let reply = if datagram && components.control.at_most_once() {
+                let key = (caller, xid);
+                // NB: take the cached value out before branching so the
+                // lock guard is released (the else branch locks again).
+                let cached = self.replies.lock().get(&key).cloned();
+                if let Some(cached) = cached {
+                    self.world.trace(
+                        Some(binding.host),
+                        TraceKind::Rpc,
+                        format!("duplicate xid {xid} answered from reply cache"),
+                    );
+                    cached
+                } else {
+                    let reply = self.serve(caller, binding, proc_id, &decoded_args)?;
+                    let mut replies = self.replies.lock();
+                    if replies.len() > REPLY_CACHE_LIMIT {
+                        replies.clear();
+                    }
+                    replies.insert(key, reply.clone());
+                    reply
+                }
+            } else {
+                self.serve(caller, binding, proc_id, &decoded_args)?
+            };
+
+            // Response leg.
+            if datagram && self.datagram_dropped() {
+                self.world.trace(
+                    Some(caller),
+                    TraceKind::Rpc,
+                    format!("reply from {} lost (attempt {attempts})", binding.host),
+                );
+                if attempts >= max_attempts {
+                    return Err(RpcError::Timeout { attempts });
+                }
+                continue;
+            }
+
+            self.world.trace(
+                Some(caller),
+                TraceKind::Rpc,
+                format!(
+                    "call {} -> {}:{} prog {} ({:?})",
+                    caller,
+                    binding.host,
+                    binding.port,
+                    binding.program.0,
+                    components.suite_kind()
+                ),
+            );
+            let reply_bytes = components.data_rep.encode(&reply)?;
+            self.world
+                .charge_ms(self.world.costs.per_kb * reply_bytes.len() as f64 / 1024.0);
+            return Ok(components.data_rep.decode(&reply_bytes)?);
+        }
+    }
+
+    fn serve(
+        &self,
+        caller: HostId,
+        binding: &HrpcBinding,
+        proc_id: u32,
+        args: &Value,
+    ) -> RpcResult<Value> {
+        // Built-in per-host services.
+        match binding.port {
+            PORTMAP_PORT => return self.serve_portmap(binding.host, proc_id, args),
+            EXCHANGE_PORT => return self.serve_exchange(binding.host, proc_id, args),
+            _ => {}
+        }
+        let service = self.lookup_service(binding.host, binding.port)?;
+        let ctx = CallCtx {
+            net: self,
+            world: &self.world,
+            host: binding.host,
+            caller,
+        };
+        service.dispatch(&ctx, proc_id, args)
+    }
+
+    fn serve_portmap(&self, host: HostId, proc_id: u32, args: &Value) -> RpcResult<Value> {
+        self.world.charge_ms(self.world.costs.portmap_service);
+        match proc_id {
+            PMAP_GETPORT => {
+                let program = ProgramId(args.u32_field("program")?);
+                let port = self.portmap_getport(host, program)?;
+                Ok(Value::U32(port as u32))
+            }
+            other => Err(RpcError::BadProcedure(other)),
+        }
+    }
+
+    fn serve_exchange(&self, host: HostId, proc_id: u32, args: &Value) -> RpcResult<Value> {
+        self.world.charge_ms(self.world.costs.portmap_service);
+        match proc_id {
+            EXCHANGE_RESOLVE => {
+                let name = args.str_field("service")?;
+                let port = self.exchange_resolve(host, name)?;
+                Ok(Value::U32(port as u32))
+            }
+            other => Err(RpcError::BadProcedure(other)),
+        }
+    }
+
+    /// Builds the binding for a built-in per-host service (portmapper or
+    /// exchange listener) reachable over the given suite.
+    pub fn builtin_binding(host: HostId, port: u16, components: ComponentSet) -> HrpcBinding {
+        HrpcBinding {
+            host,
+            addr: NetAddr::of(host),
+            program: ProgramId(0),
+            port,
+            components,
+        }
+    }
+}
+
+impl std::fmt::Debug for RpcNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.tables.read();
+        f.debug_struct("RpcNet")
+            .field("services", &t.services.len())
+            .field("programs", &t.programs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ComponentSet;
+    use crate::server::ProcServer;
+
+    fn setup() -> (Arc<World>, Arc<RpcNet>, HostId, HostId) {
+        let world = World::paper();
+        let client = world.add_host("client");
+        let server = world.add_host("server");
+        let net = RpcNet::new(Arc::clone(&world));
+        (world, net, client, server)
+    }
+
+    fn echo_service() -> Arc<dyn RpcService> {
+        Arc::new(ProcServer::new("echo").with_proc(1, |_ctx, args| Ok(args.clone())))
+    }
+
+    fn binding_for(net: &RpcNet, host: HostId, components: ComponentSet) -> HrpcBinding {
+        let port = net
+            .portmap_getport(host, ProgramId(77))
+            .expect("registered");
+        HrpcBinding {
+            host,
+            addr: NetAddr::of(host),
+            program: ProgramId(77),
+            port,
+            components,
+        }
+    }
+
+    #[test]
+    fn remote_call_roundtrips_and_charges_rtt() {
+        let (world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::sun());
+        let args = Value::record(vec![("msg", Value::str("hello"))]);
+        let (reply, took, delta) = world.measure(|| net.call(client, &b, 1, &args));
+        assert_eq!(reply.expect("call ok"), args);
+        assert!(took.as_ms_f64() >= 33.0, "took {took}");
+        assert!(took.as_ms_f64() < 36.0, "took {took}");
+        assert_eq!(delta.remote_calls, 1);
+    }
+
+    #[test]
+    fn local_call_is_effectively_free() {
+        let (world, net, _client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::sun());
+        let (reply, took, delta) = world.measure(|| net.call(server, &b, 1, &Value::U32(5)));
+        assert!(reply.is_ok());
+        assert!(took.as_ms_f64() < 1.0, "took {took}");
+        assert_eq!(delta.remote_calls, 0);
+        assert_eq!(delta.local_calls, 1);
+    }
+
+    #[test]
+    fn suites_have_distinct_costs() {
+        let (world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let mut times = Vec::new();
+        for components in [
+            ComponentSet::raw_tcp(0),
+            ComponentSet::raw_udp(0),
+            ComponentSet::sun(),
+            ComponentSet::courier(),
+        ] {
+            let mut b = binding_for(&net, server, components);
+            b.components = components;
+            let (_r, took, _d) = world.measure(|| net.call(client, &b, 1, &Value::Void));
+            times.push(took.as_ms_f64());
+        }
+        // raw_tcp < raw_udp < sun < courier per the calibrated model.
+        assert!(
+            times[0] < times[1] && times[1] < times[2] && times[2] < times[3],
+            "{times:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_service_and_procedure_fail() {
+        let (_world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::sun());
+        assert!(matches!(
+            net.call(client, &b, 99, &Value::Void),
+            Err(RpcError::BadProcedure(99))
+        ));
+        let mut bad = b;
+        bad.port = 9999;
+        assert!(matches!(
+            net.call(client, &bad, 1, &Value::Void),
+            Err(RpcError::NoSuchService { .. })
+        ));
+    }
+
+    #[test]
+    fn portmapper_builtin_resolves_programs() {
+        let (_world, net, client, server) = setup();
+        let port = net.export(server, ProgramId(100_005), echo_service());
+        let pm = RpcNet::builtin_binding(server, PORTMAP_PORT, ComponentSet::raw_udp(PORTMAP_PORT));
+        let reply = net
+            .call(
+                client,
+                &pm,
+                PMAP_GETPORT,
+                &Value::record(vec![("program", Value::U32(100_005))]),
+            )
+            .expect("getport");
+        assert_eq!(reply, Value::U32(port as u32));
+    }
+
+    #[test]
+    fn exchange_builtin_resolves_names() {
+        let (_world, net, client, server) = setup();
+        let port = net.export(server, ProgramId(5), echo_service());
+        let ex = RpcNet::builtin_binding(server, EXCHANGE_PORT, ComponentSet::courier());
+        let reply = net
+            .call(
+                client,
+                &ex,
+                EXCHANGE_RESOLVE,
+                &Value::record(vec![("service", Value::str("echo"))]),
+            )
+            .expect("resolve");
+        assert_eq!(reply, Value::U32(port as u32));
+    }
+
+    #[test]
+    fn datagram_loss_retries_then_times_out() {
+        let (world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::raw_udp(0));
+
+        // Total loss: every attempt drops, so the call times out after the
+        // control protocol's maximum attempts, charging each attempt.
+        net.set_loss(Some(LossPlan::new(1.0, 42)));
+        let (result, took, delta) = world.measure(|| net.call(client, &b, 1, &Value::Void));
+        assert!(matches!(result, Err(RpcError::Timeout { attempts: 4 })));
+        assert!(took.as_ms_f64() >= 4.0 * 25.0, "took {took}");
+        assert_eq!(delta.remote_calls, 4);
+
+        // No loss: immediate success.
+        net.set_loss(None);
+        assert!(net.call(client, &b, 1, &Value::Void).is_ok());
+    }
+
+    #[test]
+    fn stream_transports_ignore_loss_plan() {
+        let (_world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        net.set_loss(Some(LossPlan::new(1.0, 42)));
+        let b = binding_for(&net, server, ComponentSet::sun());
+        assert!(net.call(client, &b, 1, &Value::Void).is_ok());
+    }
+
+    #[test]
+    fn unexport_removes_service() {
+        let (_world, net, client, server) = setup();
+        let port = net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::sun());
+        net.unexport(server, port);
+        assert!(matches!(
+            net.call(client, &b, 1, &Value::Void),
+            Err(RpcError::NoSuchService { .. })
+        ));
+        assert!(net.portmap_getport(server, ProgramId(77)).is_err());
+    }
+
+    #[test]
+    fn nested_calls_originate_from_service_host() {
+        let (world, net, client, server) = setup();
+        let backend_host = world.add_host("backend");
+        net.export(backend_host, ProgramId(88), echo_service());
+        let backend_port = net
+            .portmap_getport(backend_host, ProgramId(88))
+            .expect("port");
+        let backend = HrpcBinding {
+            host: backend_host,
+            addr: NetAddr::of(backend_host),
+            program: ProgramId(88),
+            port: backend_port,
+            components: ComponentSet::raw_tcp(backend_port),
+        };
+        let frontend = Arc::new(ProcServer::new("frontend").with_proc(1, move |ctx, args| {
+            ctx.net.call(ctx.host, &backend, 1, args)
+        }));
+        net.export(server, ProgramId(77), frontend);
+        let b = binding_for(&net, server, ComponentSet::sun());
+        let (reply, took, delta) = world.measure(|| net.call(client, &b, 1, &Value::U32(9)));
+        assert_eq!(reply.expect("ok"), Value::U32(9));
+        // Two remote hops: client->frontend (33) + frontend->backend (22).
+        assert!(took.as_ms_f64() >= 55.0, "took {took}");
+        assert_eq!(delta.remote_calls, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for a built-in service")]
+    fn export_at_reserved_port_panics() {
+        let (_world, net, _client, server) = setup();
+        net.export_at(server, PORTMAP_PORT, ProgramId(1), echo_service());
+    }
+
+    #[test]
+    fn export_at_fixed_port() {
+        let (_world, net, client, server) = setup();
+        net.export_at(server, 53, ProgramId(99), echo_service());
+        let b = HrpcBinding {
+            host: server,
+            addr: NetAddr::of(server),
+            program: ProgramId(99),
+            port: 53,
+            components: ComponentSet::raw_tcp(53),
+        };
+        assert!(net.call(client, &b, 1, &Value::Void).is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! Control-protocol semantics under message loss: retransmission,
+//! duplicate execution, and at-most-once suppression.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use hrpc::net::{LossPlan, RpcNet};
+use hrpc::server::{CallCtx, RpcService};
+use hrpc::{ComponentSet, HrpcBinding, ProgramId, RpcError, RpcResult};
+use simnet::topology::{HostId, NetAddr};
+use simnet::world::World;
+use wire::Value;
+
+/// A service with an observable side effect per execution.
+struct Counter {
+    executions: AtomicU32,
+}
+
+impl RpcService for Counter {
+    fn service_name(&self) -> &str {
+        "counter"
+    }
+    fn dispatch(&self, _ctx: &CallCtx<'_>, _proc: u32, _args: &Value) -> RpcResult<Value> {
+        let n = self.executions.fetch_add(1, Ordering::SeqCst) + 1;
+        Ok(Value::U32(n))
+    }
+}
+
+struct Env {
+    world: Arc<World>,
+    net: Arc<RpcNet>,
+    client: HostId,
+    server: HostId,
+    counter: Arc<Counter>,
+    port: u16,
+}
+
+fn env() -> Env {
+    let world = World::paper();
+    let client = world.add_host("client");
+    let server = world.add_host("server");
+    let net = RpcNet::new(Arc::clone(&world));
+    let counter = Arc::new(Counter {
+        executions: AtomicU32::new(0),
+    });
+    let port = net.export(
+        server,
+        ProgramId(5),
+        Arc::clone(&counter) as Arc<dyn RpcService>,
+    );
+    Env {
+        world,
+        net,
+        client,
+        server,
+        counter,
+        port,
+    }
+}
+
+fn binding(env: &Env, components: ComponentSet) -> HrpcBinding {
+    HrpcBinding {
+        host: env.server,
+        addr: NetAddr::of(env.server),
+        program: ProgramId(5),
+        port: env.port,
+        components,
+    }
+}
+
+/// Runs calls under loss and returns (successful calls, executions).
+fn run_lossy(env: &Env, components: ComponentSet, calls: u32, seed: u64) -> (u32, u32) {
+    env.net.set_loss(Some(LossPlan::new(0.35, seed)));
+    env.counter.executions.store(0, Ordering::SeqCst);
+    let b = binding(env, components);
+    let mut ok = 0;
+    for _ in 0..calls {
+        if env.net.call(env.client, &b, 1, &Value::Void).is_ok() {
+            ok += 1;
+        }
+    }
+    env.net.set_loss(None);
+    (ok, env.counter.executions.load(Ordering::SeqCst))
+}
+
+#[test]
+fn raw_udp_without_call_state_executes_duplicates() {
+    let env = env();
+    let (ok, executions) = run_lossy(&env, ComponentSet::raw_udp(env.port), 60, 7);
+    assert!(ok >= 50, "too few successes: {ok}");
+    // Lost replies force retransmissions that re-execute the call.
+    assert!(
+        executions > ok,
+        "expected duplicate executions: ok {ok}, executions {executions}"
+    );
+}
+
+#[test]
+fn at_most_once_suppresses_duplicate_executions() {
+    let env = env();
+    let (ok, executions) = run_lossy(&env, ComponentSet::raw_udp_at_most_once(env.port), 60, 7);
+    assert!(ok >= 50, "too few successes: {ok}");
+    // Every successful call executed exactly once; failed calls executed
+    // at most once.
+    assert!(
+        executions <= 60,
+        "at-most-once violated: ok {ok}, executions {executions}"
+    );
+    assert!(executions >= ok, "every success implies one execution");
+}
+
+#[test]
+fn lossless_calls_execute_exactly_once_under_any_control() {
+    let env = env();
+    for components in [
+        ComponentSet::sun(),
+        ComponentSet::courier(),
+        ComponentSet::raw_tcp(env.port),
+        ComponentSet::raw_udp(env.port),
+        ComponentSet::raw_udp_at_most_once(env.port),
+    ] {
+        env.counter.executions.store(0, Ordering::SeqCst);
+        let b = binding(&env, components);
+        for _ in 0..10 {
+            env.net.call(env.client, &b, 1, &Value::Void).expect("call");
+        }
+        assert_eq!(env.counter.executions.load(Ordering::SeqCst), 10);
+    }
+}
+
+#[test]
+fn retransmissions_cost_virtual_time() {
+    let env = env();
+    // No loss: baseline.
+    let b = binding(&env, ComponentSet::raw_udp(env.port));
+    let (_, clean, _) = env
+        .world
+        .measure(|| env.net.call(env.client, &b, 1, &Value::Void));
+
+    // Certain request loss on the first three attempts is impossible to
+    // arrange exactly with a probabilistic plan, so compare aggregates:
+    env.net.set_loss(Some(LossPlan::new(0.5, 11)));
+    let mut total = 0.0;
+    let calls = 40;
+    for _ in 0..calls {
+        let (_, took, _) = env
+            .world
+            .measure(|| env.net.call(env.client, &b, 1, &Value::Void));
+        total += took.as_ms_f64();
+    }
+    env.net.set_loss(None);
+    let mean = total / f64::from(calls);
+    assert!(
+        mean > clean.as_ms_f64() * 1.4,
+        "loss must cost time: clean {} vs lossy mean {mean}",
+        clean.as_ms_f64()
+    );
+}
+
+#[test]
+fn total_loss_times_out_with_attempt_budget() {
+    let env = env();
+    env.net.set_loss(Some(LossPlan::new(1.0, 3)));
+    let b = binding(&env, ComponentSet::raw_udp_at_most_once(env.port));
+    let err = env.net.call(env.client, &b, 1, &Value::Void).unwrap_err();
+    assert!(matches!(err, RpcError::Timeout { attempts: 4 }), "{err}");
+    assert_eq!(env.counter.executions.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn distinct_calls_never_share_reply_cache_entries() {
+    let env = env();
+    // At-most-once must not confuse *different* calls: each fresh call
+    // gets a fresh xid and a fresh execution.
+    let b = binding(&env, ComponentSet::raw_udp_at_most_once(env.port));
+    let first = env.net.call(env.client, &b, 1, &Value::Void).expect("call");
+    let second = env.net.call(env.client, &b, 1, &Value::Void).expect("call");
+    assert_eq!(first, Value::U32(1));
+    assert_eq!(second, Value::U32(2));
+}

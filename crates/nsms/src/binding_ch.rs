@@ -1,0 +1,133 @@
+//! The HRPC-binding NSM for Clearinghouse-named systems.
+//!
+//! Same client interface as [`crate::binding_bind::BindingBindNsm`], but
+//! the work differs completely: the host address comes from an
+//! authenticated Clearinghouse lookup, and port determination runs the
+//! Courier exchange protocol. "The client does not need to be aware of
+//! which name service it is calling."
+
+use std::sync::Arc;
+
+use clearinghouse::client::ChClient;
+use clearinghouse::name::ThreePartName;
+use clearinghouse::property::PROP_ADDRESS;
+use hns_core::name::{HnsName, NameMapping};
+use hns_core::nsm::Nsm;
+use hns_core::query::QueryClass;
+use hrpc::bindproto;
+use hrpc::error::{RpcError, RpcResult};
+use hrpc::net::RpcNet;
+use hrpc::{ComponentSet, HrpcBinding, ProgramId};
+use simnet::topology::HostId;
+use wire::Value;
+
+use crate::nsm_cache::{NsmCache, NsmCacheForm};
+
+const BINDING_MARSHAL_RRS: usize = 6;
+const CACHED_BINDING_RRS: usize = 2;
+/// TTL for cached Clearinghouse-derived bindings (the Clearinghouse has no
+/// per-record TTLs; this mirrors the meta TTL).
+const CH_BINDING_TTL: u32 = 600;
+
+/// The binding NSM for Clearinghouse/Courier systems.
+pub struct BindingChNsm {
+    name: String,
+    net: Arc<RpcNet>,
+    host: HostId,
+    client: Arc<ChClient>,
+    mapping: NameMapping,
+    cache: NsmCache,
+    target_suite: ComponentSet,
+}
+
+impl BindingChNsm {
+    /// Conventional NSM name.
+    pub const NAME: &'static str = "nsm-hrpcbinding-ch";
+
+    /// Creates the NSM.
+    pub fn new(
+        net: Arc<RpcNet>,
+        host: HostId,
+        client: Arc<ChClient>,
+        mapping: NameMapping,
+        cache_form: NsmCacheForm,
+    ) -> Arc<Self> {
+        Arc::new(BindingChNsm {
+            name: Self::NAME.to_string(),
+            net,
+            host,
+            client,
+            mapping,
+            cache: NsmCache::new(cache_form),
+            target_suite: ComponentSet::courier(),
+        })
+    }
+
+    /// Cache statistics (hits, misses).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+impl Nsm for BindingChNsm {
+    fn nsm_name(&self) -> &str {
+        &self.name
+    }
+
+    fn query_class(&self) -> QueryClass {
+        QueryClass::hrpc_binding()
+    }
+
+    fn handle(&self, hns_name: &HnsName, args: &Value) -> RpcResult<Value> {
+        let world = self.net.world();
+        let service = args.str_field("service")?;
+        let program = ProgramId(args.u32_field("program")?);
+
+        let local = self
+            .mapping
+            .to_local(&hns_name.individual)
+            .map_err(|e| RpcError::Service(e.to_string()))?;
+
+        let cache_key = format!("{local}|{service}|{}", program.0);
+        if let Some(cached) = self.cache.get(world, &cache_key) {
+            world.charge_ms(world.costs.nsm_assemble);
+            return Ok(cached);
+        }
+
+        // 1. Authenticated Clearinghouse lookup for the host address.
+        let tpn = ThreePartName::parse(&local).map_err(|e| RpcError::Service(e.to_string()))?;
+        let host = HostId(self.client.lookup_item(&tpn, PROP_ADDRESS)?.as_u32()?);
+
+        // 2. Port determination via the Courier exchange protocol.
+        let port = bindproto::resolve_port(
+            &self.net,
+            self.host,
+            host,
+            program,
+            service,
+            self.target_suite,
+        )?;
+
+        // 3. Assemble.
+        let binding = HrpcBinding {
+            host,
+            addr: simnet::topology::NetAddr::of(host),
+            program,
+            port,
+            components: self.target_suite,
+        };
+        world.charge_ms(world.costs.generated_miss(BINDING_MARSHAL_RRS) + world.costs.nsm_assemble);
+        let reply = binding.to_value();
+        self.cache
+            .insert(world, cache_key, &reply, CACHED_BINDING_RRS, CH_BINDING_TTL);
+        Ok(reply)
+    }
+}
+
+impl std::fmt::Debug for BindingChNsm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BindingChNsm")
+            .field("host", &self.host)
+            .finish()
+    }
+}

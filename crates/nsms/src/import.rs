@@ -1,0 +1,73 @@
+//! `Import` — the HRPC binding operation, as a client of the HNS.
+//!
+//! The paper's walkthrough:
+//!
+//! ```text
+//! Import(ServiceName: "DesiredService",
+//!        HostName:    "BIND,fiji.cs.washington.edu",
+//!        ResultBinding: DesiredBinding)
+//! ```
+//!
+//! `Import` acts as a client of the HNS: it calls `FindNSM` with query
+//! class `HRPCBinding`, then calls the designated binding NSM with the
+//! original HNS name and the service name, and returns the completed,
+//! system-independent binding to its caller.
+
+use std::sync::Arc;
+
+use hns_core::colocation::{HnsClient, HnsHandle};
+use hns_core::error::{HnsError, HnsResult};
+use hns_core::name::HnsName;
+use hns_core::nsm::NsmClient;
+use hns_core::query::QueryClass;
+use hrpc::net::RpcNet;
+use hrpc::{HrpcBinding, ProgramId};
+use simnet::topology::HostId;
+use wire::Value;
+
+/// The HRPC `Import` entry point for one client process.
+pub struct Importer {
+    hns: HnsClient,
+    nsm: NsmClient,
+}
+
+impl Importer {
+    /// Creates an importer for a client on `host` reaching the HNS through
+    /// `handle` (linked or remote — the colocation arrangement).
+    pub fn new(net: Arc<RpcNet>, host: HostId, handle: HnsHandle) -> Self {
+        Importer {
+            hns: HnsClient::new(Arc::clone(&net), host, handle),
+            nsm: NsmClient::new(net, host),
+        }
+    }
+
+    /// Imports a service: returns a binding the client can call.
+    pub fn import(
+        &self,
+        service_name: &str,
+        program: ProgramId,
+        host_name: &HnsName,
+    ) -> HnsResult<HrpcBinding> {
+        // FindNSM: which NSM understands binding for this context?
+        let nsm_binding = self.hns.find_nsm(&QueryClass::hrpc_binding(), host_name)?;
+        // Call the designated binding NSM with the original HNS name.
+        let reply = self
+            .nsm
+            .call(
+                &nsm_binding,
+                host_name,
+                vec![
+                    ("service", Value::str(service_name)),
+                    ("program", Value::U32(program.0)),
+                ],
+            )
+            .map_err(HnsError::Rpc)?;
+        HrpcBinding::from_value(&reply).map_err(HnsError::from)
+    }
+}
+
+impl std::fmt::Debug for Importer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Importer").finish()
+    }
+}

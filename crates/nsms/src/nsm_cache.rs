@@ -1,0 +1,197 @@
+//! The NSM-side result cache.
+//!
+//! "Both the HNS and the NSMs were modified to cache the results of remote
+//! lookups." An NSM caches completed results (e.g. a finished HRPC binding)
+//! keyed by the query it answered, with the same marshalled/demarshalled
+//! form distinction as the HNS cache.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use simnet::time::{SimDuration, SimTime};
+use simnet::world::World;
+use simnet::CacheForm;
+use wire::Value;
+
+/// Storage form for NSM cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NsmCacheForm {
+    /// No caching.
+    Disabled,
+    /// Wire form; hits pay a generated demarshal.
+    Marshalled,
+    /// Decoded form; hits are nearly free.
+    Demarshalled,
+}
+
+#[derive(Debug)]
+enum Stored {
+    Bytes(Vec<u8>),
+    Decoded(Value),
+}
+
+#[derive(Debug)]
+struct Entry {
+    stored: Stored,
+    rrs: usize,
+    expires_at: SimTime,
+}
+
+/// A cache of completed NSM results.
+pub struct NsmCache {
+    form: NsmCacheForm,
+    entries: Mutex<HashMap<String, Entry>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl NsmCache {
+    /// Creates a cache with the given storage form.
+    pub fn new(form: NsmCacheForm) -> Self {
+        NsmCache {
+            form,
+            entries: Mutex::new(HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The storage form.
+    pub fn form(&self) -> NsmCacheForm {
+        self.form
+    }
+
+    /// Looks up a completed result, charging probe + form-dependent cost.
+    pub fn get(&self, world: &World, key: &str) -> Option<Value> {
+        if self.form == NsmCacheForm::Disabled {
+            return None;
+        }
+        world.charge_ms(world.costs.cache_probe);
+        let mut entries = self.entries.lock();
+        match entries.get(key) {
+            Some(entry) if entry.expires_at > world.now() => {
+                let value = match &entry.stored {
+                    Stored::Bytes(bytes) => {
+                        world.charge_ms(world.costs.cache_hit(CacheForm::Marshalled, entry.rrs));
+                        wire::xdr::decode(bytes).ok()?
+                    }
+                    Stored::Decoded(v) => {
+                        world.charge_ms(world.costs.cache_hit(CacheForm::Demarshalled, entry.rrs));
+                        v.clone()
+                    }
+                };
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(value)
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed result.
+    pub fn insert(&self, world: &World, key: String, value: &Value, rrs: usize, ttl_secs: u32) {
+        if self.form == NsmCacheForm::Disabled {
+            return;
+        }
+        let stored = match self.form {
+            NsmCacheForm::Marshalled => match wire::xdr::encode(value) {
+                Ok(bytes) => Stored::Bytes(bytes),
+                Err(_) => return,
+            },
+            NsmCacheForm::Demarshalled => Stored::Decoded(value.clone()),
+            NsmCacheForm::Disabled => unreachable!("checked above"),
+        };
+        let expires_at = world.now() + SimDuration::from_ms(u64::from(ttl_secs) * 1000);
+        self.entries.lock().insert(
+            key,
+            Entry {
+                stored,
+                rrs,
+                expires_at,
+            },
+        );
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Drops all entries.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for NsmCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NsmCache")
+            .field("form", &self.form)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_form_never_caches() {
+        let world = simnet::World::paper();
+        let cache = NsmCache::new(NsmCacheForm::Disabled);
+        cache.insert(&world, "k".into(), &Value::U32(1), 1, 600);
+        assert!(cache.get(&world, "k").is_none());
+    }
+
+    #[test]
+    fn marshalled_hit_cost() {
+        let world = simnet::World::paper();
+        let cache = NsmCache::new(NsmCacheForm::Marshalled);
+        cache.insert(&world, "k".into(), &Value::U32(1), 2, 600);
+        let (got, took, _) = world.measure(|| cache.get(&world, "k"));
+        assert_eq!(got, Some(Value::U32(1)));
+        // probe 0.05 + 8.10 + 2*3.01 = 14.17
+        assert!((took.as_ms_f64() - 14.17).abs() < 0.1, "took {took}");
+        assert_eq!(cache.stats(), (1, 0));
+    }
+
+    #[test]
+    fn demarshalled_hit_is_cheap() {
+        let world = simnet::World::paper();
+        let cache = NsmCache::new(NsmCacheForm::Demarshalled);
+        cache.insert(&world, "k".into(), &Value::U32(1), 2, 600);
+        let (_, took, _) = world.measure(|| cache.get(&world, "k"));
+        assert!(took.as_ms_f64() < 1.1, "took {took}");
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let world = simnet::World::paper();
+        let cache = NsmCache::new(NsmCacheForm::Demarshalled);
+        cache.insert(&world, "k".into(), &Value::U32(1), 1, 1);
+        world.charge_ms(1500.0);
+        assert!(cache.get(&world, "k").is_none());
+        assert_eq!(cache.stats().1, 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let world = simnet::World::paper();
+        let cache = NsmCache::new(NsmCacheForm::Demarshalled);
+        cache.insert(&world, "k".into(), &Value::U32(1), 1, 600);
+        cache.clear();
+        assert!(cache.get(&world, "k").is_none());
+    }
+}

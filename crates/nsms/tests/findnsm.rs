@@ -1,0 +1,246 @@
+//! End-to-end tests of `FindNSM` and `Import` over the full testbed:
+//! structure (exact remote-call counts) and calibrated timings (Table 3.1
+//! row 1 and the §3 inline numbers).
+
+use std::sync::Arc;
+
+use hns_core::cache::CacheMode;
+use hns_core::colocation::HnsHandle;
+use hns_core::name::HnsName;
+use hns_core::query::QueryClass;
+use nsms::harness::{
+    Testbed, DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, PRINT_SERVICE, PRINT_SERVICE_PROGRAM,
+};
+use nsms::nsm_cache::NsmCacheForm;
+use nsms::Importer;
+use wire::Value;
+
+fn fiji_name(tb: &Testbed) -> HnsName {
+    HnsName::new(tb.ctx_bind(), "fiji.cs.washington.edu").expect("name")
+}
+
+fn printer_name(tb: &Testbed) -> HnsName {
+    HnsName::new(tb.ctx_ch(), "printserver:cs:uw").expect("name")
+}
+
+#[test]
+fn cold_findnsm_makes_exactly_six_data_mappings() {
+    // "the basic HNS scheme requires six data mappings, each of which
+    // involves a remote call in the case of a cache miss".
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    let (result, _took, delta) = tb
+        .world
+        .measure(|| hns.find_nsm(&QueryClass::hrpc_binding(), &fiji_name(&tb)));
+    assert!(result.is_ok(), "{result:?}");
+    assert_eq!(
+        delta.remote_calls, 6,
+        "cold FindNSM must make 6 remote calls"
+    );
+}
+
+#[test]
+fn warm_findnsm_makes_no_remote_calls() {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    let qc = QueryClass::hrpc_binding();
+    hns.find_nsm(&qc, &fiji_name(&tb)).expect("cold");
+    let (result, took, delta) = tb.world.measure(|| hns.find_nsm(&qc, &fiji_name(&tb)));
+    assert!(result.is_ok());
+    assert_eq!(delta.remote_calls, 0, "warm FindNSM must be fully cached");
+    // Warm, marshalled-form FindNSM: the paper's 88 ms figure.
+    let ms = took.as_ms_f64();
+    assert!(
+        (ms - 88.0).abs() < 8.0,
+        "warm FindNSM took {ms} ms, paper 88"
+    );
+}
+
+#[test]
+fn cold_findnsm_cost_matches_decomposition() {
+    // 4 one-record meta lookups (~65.7 each) + the six-record NSM info
+    // lookup (~77.8) + one public BIND lookup (~26.7) + bookkeeping.
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    let (result, took, _) = tb
+        .world
+        .measure(|| hns.find_nsm(&QueryClass::hrpc_binding(), &fiji_name(&tb)));
+    assert!(result.is_ok());
+    let ms = took.as_ms_f64();
+    assert!(
+        (ms - 370.0).abs() < 15.0,
+        "cold FindNSM took {ms} ms, expected ~370"
+    );
+}
+
+#[test]
+fn uncached_findnsm_always_pays_full_price() {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Disabled);
+    let qc = QueryClass::hrpc_binding();
+    hns.find_nsm(&qc, &fiji_name(&tb)).expect("first");
+    let (_, took, delta) = tb.world.measure(|| hns.find_nsm(&qc, &fiji_name(&tb)));
+    assert_eq!(delta.remote_calls, 6, "disabled cache must refetch");
+    assert!(took.as_ms_f64() > 300.0);
+}
+
+#[test]
+fn import_row1_cold_matches_table_3_1_column_a() {
+    // Arrangement [Client, HNS, NSMs], cache miss: paper 460 ms.
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.client, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    let importer = Importer::new(Arc::clone(&tb.net), tb.hosts.client, HnsHandle::Linked(hns));
+    let (binding, took, _) = tb
+        .world
+        .measure(|| importer.import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &fiji_name(&tb)));
+    let binding = binding.expect("import");
+    assert_eq!(binding.host, tb.hosts.fiji);
+    let ms = took.as_ms_f64();
+    assert!(
+        (ms - 460.0).abs() / 460.0 < 0.05,
+        "row1 column A: {ms} ms vs paper 460 (±5%)"
+    );
+}
+
+#[test]
+fn import_row1_hns_hit_matches_table_3_1_column_b() {
+    // HNS cache hit, NSM cache miss: paper 180 ms.
+    let tb = Testbed::build();
+    let nsms = tb.deploy_binding_nsms(tb.hosts.client, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    let importer = Importer::new(Arc::clone(&tb.net), tb.hosts.client, HnsHandle::Linked(hns));
+    importer
+        .import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &fiji_name(&tb))
+        .expect("warm HNS");
+    nsms.bind.clear_cache(); // Force the NSM phase to miss again.
+    let (_, took, _) = tb
+        .world
+        .measure(|| importer.import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &fiji_name(&tb)));
+    let ms = took.as_ms_f64();
+    assert!(
+        (ms - 180.0).abs() / 180.0 < 0.08,
+        "row1 column B: {ms} ms vs paper 180 (±8%)"
+    );
+}
+
+#[test]
+fn import_row1_both_hit_matches_table_3_1_column_c() {
+    // Both caches hit: paper 104 ms.
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.client, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    let importer = Importer::new(Arc::clone(&tb.net), tb.hosts.client, HnsHandle::Linked(hns));
+    importer
+        .import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &fiji_name(&tb))
+        .expect("warm everything");
+    let (_, took, delta) = tb
+        .world
+        .measure(|| importer.import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &fiji_name(&tb)));
+    let ms = took.as_ms_f64();
+    assert_eq!(delta.remote_calls, 0);
+    assert!(
+        (ms - 104.0).abs() / 104.0 < 0.06,
+        "row1 column C: {ms} ms vs paper 104 (±6%)"
+    );
+}
+
+#[test]
+fn imported_binding_actually_calls_the_service() {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    let importer = Importer::new(Arc::clone(&tb.net), tb.hosts.client, HnsHandle::Linked(hns));
+    let binding = importer
+        .import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &fiji_name(&tb))
+        .expect("import");
+    let reply = tb
+        .net
+        .call(tb.hosts.client, &binding, 1, &Value::str("ping"))
+        .expect("call service");
+    assert_eq!(reply, Value::record(vec![("echo", Value::str("ping"))]));
+}
+
+#[test]
+fn identical_client_code_binds_courier_service_via_clearinghouse() {
+    // The heterogeneity claim: the same Import call works for a name that
+    // lives in the Clearinghouse, without the client knowing.
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    let importer = Importer::new(Arc::clone(&tb.net), tb.hosts.client, HnsHandle::Linked(hns));
+    let binding = importer
+        .import(PRINT_SERVICE, PRINT_SERVICE_PROGRAM, &printer_name(&tb))
+        .expect("import via CH");
+    assert_eq!(binding.host, tb.hosts.printer);
+    assert_eq!(
+        binding.components.suite_kind(),
+        simnet::costs::RpcSuiteKind::Courier,
+        "CH-named service must come back with its native Courier suite"
+    );
+    let reply = tb
+        .net
+        .call(tb.hosts.client, &binding, 1, &Value::Void)
+        .expect("call print service");
+    assert_eq!(reply, Value::str("queued"));
+}
+
+#[test]
+fn clearinghouse_binding_is_slower_due_to_auth_and_disk() {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    let importer = Importer::new(
+        Arc::clone(&tb.net),
+        tb.hosts.client,
+        HnsHandle::Linked(Arc::clone(&hns)),
+    );
+    let (_, bind_cold, _) = tb
+        .world
+        .measure(|| importer.import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &fiji_name(&tb)));
+    // Fresh meta cache so both paths pay the same FindNSM cost and the
+    // difference isolates the NSM phase.
+    hns.clear_cache();
+    let (_, ch_cold, _) = tb
+        .world
+        .measure(|| importer.import(PRINT_SERVICE, PRINT_SERVICE_PROGRAM, &printer_name(&tb)));
+    assert!(
+        ch_cold.as_ms_f64() > bind_cold.as_ms_f64() + 100.0,
+        "CH path {ch_cold} should exceed BIND path {bind_cold} by the 156-27 ms gap"
+    );
+}
+
+#[test]
+fn unknown_context_and_missing_nsm_report_specific_errors() {
+    let tb = Testbed::build();
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    let bad_ctx = HnsName::parse("nowhere!fiji.cs.washington.edu").expect("name");
+    assert!(matches!(
+        hns.find_nsm(&QueryClass::hrpc_binding(), &bad_ctx),
+        Err(hns_core::HnsError::NoSuchContext(_))
+    ));
+    // Context exists but no NSM registered for this query class.
+    let name = fiji_name(&tb);
+    assert!(matches!(
+        hns.find_nsm(&QueryClass::new("Bogus"), &name),
+        Err(hns_core::HnsError::NoSuchNsm { .. })
+    ));
+}
+
+#[test]
+fn dynamic_updates_flow_into_findnsm_without_client_changes() {
+    // Direct access: an application registers a brand-new query class at
+    // runtime; existing HNS clients can use it immediately.
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    tb.deploy_extension_nsms(tb.hosts.nsm);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    let binding = hns
+        .find_nsm(&QueryClass::mailbox_location(), &fiji_name(&tb))
+        .expect("mail NSM findable");
+    assert_eq!(binding.host, tb.hosts.nsm);
+}

@@ -1,0 +1,150 @@
+//! Clocks that components charge virtual time against.
+//!
+//! The paper's methodology measures the *elapsed time of one operation at
+//! light load*: a single logical thread of control moves through the client,
+//! the HNS, the NSMs, and the underlying name services. We reproduce that by
+//! letting every component advance a shared [`VirtualClock`] by its
+//! calibrated cost as the (real, synchronous) call proceeds. The total
+//! virtual time elapsed across an operation is exactly the paper's elapsed
+//! time, computed deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A source of virtual time that can be advanced by costs.
+pub trait Clock: Send + Sync {
+    /// Returns the current virtual instant.
+    fn now(&self) -> SimTime;
+
+    /// Advances virtual time by `d`.
+    fn advance(&self, d: SimDuration);
+}
+
+/// The standard monotonically-advancing virtual clock.
+///
+/// Cheap to share (`Arc<VirtualClock>`), safe to advance from any thread.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::clock::{Clock, VirtualClock};
+/// use simnet::time::SimDuration;
+///
+/// let clock = VirtualClock::new();
+/// clock.advance(SimDuration::from_ms(27));
+/// assert_eq!(clock.now().as_us(), 27_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at the origin of virtual time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the clock to the origin. Intended for experiment harnesses
+    /// that reuse one world across trials.
+    pub fn reset(&self) {
+        self.micros.store(0, Ordering::SeqCst);
+    }
+
+    /// Measures the virtual time consumed by `f`.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> (R, SimDuration) {
+        let start = self.now();
+        let r = f();
+        (r, self.now().since(start))
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_us(self.micros.load(Ordering::SeqCst))
+    }
+
+    fn advance(&self, d: SimDuration) {
+        self.micros.fetch_add(d.as_us(), Ordering::SeqCst);
+    }
+}
+
+/// A stopwatch over a [`Clock`], for measuring phases of an operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: SimTime,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the clock's current instant.
+    pub fn start(clock: &dyn Clock) -> Self {
+        Stopwatch { start: clock.now() }
+    }
+
+    /// Returns the virtual time elapsed since the stopwatch started.
+    pub fn elapsed(&self, clock: &dyn Clock) -> SimDuration {
+        clock.now().since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reads() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_ms(5));
+        c.advance(SimDuration::from_us(250));
+        assert_eq!(c.now().as_us(), 5250);
+    }
+
+    #[test]
+    fn reset_returns_to_origin() {
+        let c = VirtualClock::new();
+        c.advance(SimDuration::from_ms(100));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn time_measures_closure_cost() {
+        let c = VirtualClock::new();
+        let (value, took) = c.time(|| {
+            c.advance(SimDuration::from_ms(33));
+            42
+        });
+        assert_eq!(value, 42);
+        assert_eq!(took, SimDuration::from_ms(33));
+    }
+
+    #[test]
+    fn stopwatch_tracks_elapsed() {
+        let c = VirtualClock::new();
+        c.advance(SimDuration::from_ms(10));
+        let sw = Stopwatch::start(&c);
+        c.advance(SimDuration::from_ms(7));
+        assert_eq!(sw.elapsed(&c), SimDuration::from_ms(7));
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        use std::sync::Arc;
+        let c = Arc::new(VirtualClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(SimDuration::from_us(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("thread panicked");
+        }
+        assert_eq!(c.now().as_us(), 8000);
+    }
+}

@@ -1,0 +1,132 @@
+//! A deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled at a virtual instant, carrying a payload.
+#[derive(Debug, Clone)]
+pub struct QueuedEvent<T> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number; breaks ties FIFO so runs are
+    /// deterministic regardless of heap internals.
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for QueuedEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for QueuedEvent<T> {}
+
+impl<T> PartialOrd for QueuedEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for QueuedEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest
+        // sequence number) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of timed events with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<QueuedEvent<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<QueuedEvent<T>> {
+        self.heap.pop()
+    }
+
+    /// Peeks at the earliest event's time.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(5), "c");
+        q.push(SimTime::from_ms(1), "a");
+        q.push(SimTime::from_ms(3), "b");
+        assert_eq!(q.pop().map(|e| e.payload), Some("a"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("b"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(7);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().map(|e| e.payload), Some(i));
+        }
+    }
+
+    #[test]
+    fn next_time_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::from_ms(2), ());
+        q.push(SimTime::from_ms(9), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(SimTime::from_ms(2)));
+    }
+}

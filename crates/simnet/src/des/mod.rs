@@ -1,0 +1,21 @@
+//! A small discrete-event simulation core for load experiments.
+//!
+//! The paper argues (§2, *Scalability*) that direct access distributes the
+//! naming load naturally across the subsystems' own name services, where a
+//! reregistration-based global service concentrates it. The elapsed-time
+//! methodology of [`crate::clock`] measures one operation at light load;
+//! this module provides open-workload queueing simulation (Poisson arrivals
+//! into FIFO servers) to measure response times *under* load for the
+//! scalability ablation (experiment A3).
+
+mod event;
+mod server;
+mod sim;
+mod stats;
+mod workload;
+
+pub use event::{EventQueue, QueuedEvent};
+pub use server::{FifoServer, ServerId, ServiceTime};
+pub use sim::{route_all_to, route_uniform, QueueSim, Router};
+pub use stats::{ResponseStats, StatsCollector};
+pub use workload::{ArrivalProcess, OpenWorkload};

@@ -1,0 +1,148 @@
+//! FIFO queueing servers with deterministic or exponential service times.
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a server within a [`crate::des::QueueSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerId(pub usize);
+
+/// The service-time distribution of a server.
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceTime {
+    /// Every job takes exactly this long.
+    Deterministic(SimDuration),
+    /// Exponentially distributed with the given mean (milliseconds).
+    Exponential {
+        /// Mean service time in milliseconds.
+        mean_ms: f64,
+    },
+}
+
+impl ServiceTime {
+    /// Draws one service time.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            ServiceTime::Deterministic(d) => d,
+            ServiceTime::Exponential { mean_ms } => SimDuration::from_ms_f64(rng.next_exp(mean_ms)),
+        }
+    }
+
+    /// Mean service time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            ServiceTime::Deterministic(d) => d.as_ms_f64(),
+            ServiceTime::Exponential { mean_ms } => mean_ms,
+        }
+    }
+}
+
+/// A single FIFO server: one job in service at a time, the rest waiting.
+#[derive(Debug)]
+pub struct FifoServer {
+    service: ServiceTime,
+    /// Instant the server next becomes free.
+    free_at: SimTime,
+    /// Total time the server has spent serving.
+    busy: SimDuration,
+    /// Jobs completed.
+    completed: u64,
+}
+
+impl FifoServer {
+    /// Creates an idle server with the given service-time distribution.
+    pub fn new(service: ServiceTime) -> Self {
+        FifoServer {
+            service,
+            free_at: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+            completed: 0,
+        }
+    }
+
+    /// Admits a job arriving at `arrival`; returns its departure instant.
+    ///
+    /// FIFO semantics: the job starts at `max(arrival, free_at)`.
+    pub fn admit(&mut self, arrival: SimTime, rng: &mut DetRng) -> SimTime {
+        let start = if arrival > self.free_at {
+            arrival
+        } else {
+            self.free_at
+        };
+        let service = self.service.sample(rng);
+        let done = start + service;
+        self.free_at = done;
+        self.busy += service;
+        self.completed += 1;
+        done
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Utilization over the horizon `[0, end]`.
+    pub fn utilization(&self, end: SimTime) -> f64 {
+        if end == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_ms_f64() / end.as_ms_f64()
+        }
+    }
+
+    /// Mean service time in milliseconds.
+    pub fn mean_service_ms(&self) -> f64 {
+        self.service.mean_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = FifoServer::new(ServiceTime::Deterministic(SimDuration::from_ms(10)));
+        let mut rng = DetRng::new(1);
+        let done = s.admit(SimTime::from_ms(5), &mut rng);
+        assert_eq!(done, SimTime::from_ms(15));
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = FifoServer::new(ServiceTime::Deterministic(SimDuration::from_ms(10)));
+        let mut rng = DetRng::new(1);
+        let d1 = s.admit(SimTime::from_ms(0), &mut rng);
+        let d2 = s.admit(SimTime::from_ms(1), &mut rng);
+        assert_eq!(d1, SimTime::from_ms(10));
+        assert_eq!(d2, SimTime::from_ms(20));
+        assert_eq!(s.completed(), 2);
+        assert_eq!(s.busy_time(), SimDuration::from_ms(20));
+    }
+
+    #[test]
+    fn utilization_over_horizon() {
+        let mut s = FifoServer::new(ServiceTime::Deterministic(SimDuration::from_ms(10)));
+        let mut rng = DetRng::new(1);
+        s.admit(SimTime::ZERO, &mut rng);
+        assert!((s.utilization(SimTime::from_ms(20)) - 0.5).abs() < 1e-9);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn exponential_service_mean() {
+        let st = ServiceTime::Exponential { mean_ms: 25.0 };
+        let mut rng = DetRng::new(3);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| st.sample(&mut rng).as_ms_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 25.0).abs() < 1.0, "mean {mean}");
+        assert_eq!(st.mean_ms(), 25.0);
+    }
+}

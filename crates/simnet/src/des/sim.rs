@@ -1,0 +1,211 @@
+//! The queueing simulation driver.
+
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+use super::server::{FifoServer, ServerId, ServiceTime};
+use super::stats::{ResponseStats, StatsCollector};
+use super::workload::OpenWorkload;
+
+/// Chooses which server handles the `n`-th job.
+pub type Router = Box<dyn FnMut(u64, &mut DetRng) -> ServerId>;
+
+/// An open queueing network of FIFO servers fed by one workload.
+///
+/// Because each server is FIFO and jobs are routed at arrival time, the
+/// simulation processes arrivals in time order and computes departures
+/// directly — equivalent to a full event-driven run for this network shape,
+/// but simpler and deterministic.
+#[derive(Debug, Default)]
+pub struct QueueSim {
+    servers: Vec<FifoServer>,
+}
+
+impl QueueSim {
+    /// Creates a simulation with no servers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a server and returns its id.
+    pub fn add_server(&mut self, service: ServiceTime) -> ServerId {
+        self.servers.push(FifoServer::new(service));
+        ServerId(self.servers.len() - 1)
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Runs the workload to completion, routing each arrival with `route`.
+    ///
+    /// Returns response-time statistics, or `None` for an empty workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a router returns an unknown [`ServerId`] or if no servers
+    /// were added.
+    pub fn run_open(
+        &mut self,
+        workload: OpenWorkload,
+        mut route: Router,
+        rng: &mut DetRng,
+    ) -> Option<ResponseStats> {
+        assert!(!self.servers.is_empty(), "QueueSim has no servers");
+        let mut collector = StatsCollector::new();
+        let mut horizon = SimTime::ZERO;
+        for (job, arrival) in workload.enumerate() {
+            let sid = route(job as u64, rng);
+            let server = self
+                .servers
+                .get_mut(sid.0)
+                .expect("router returned unknown server");
+            let done = server.admit(arrival, rng);
+            collector.record(done.since(arrival));
+            if done > horizon {
+                horizon = done;
+            }
+        }
+        collector.finish()
+    }
+
+    /// Utilization of `server` over the horizon `end`.
+    pub fn utilization(&self, server: ServerId, end: SimTime) -> f64 {
+        self.servers[server.0].utilization(end)
+    }
+
+    /// Jobs completed by `server`.
+    pub fn completed(&self, server: ServerId) -> u64 {
+        self.servers[server.0].completed()
+    }
+}
+
+/// A router sending every job to the same server.
+pub fn route_all_to(server: ServerId) -> Router {
+    Box::new(move |_, _| server)
+}
+
+/// A router spreading jobs uniformly at random over `n` servers.
+pub fn route_uniform(n: usize) -> Router {
+    assert!(n > 0, "route_uniform over zero servers");
+    Box::new(move |_, rng| ServerId(rng.next_below(n as u64) as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::workload::ArrivalProcess;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn mm1_mean_response_matches_theory() {
+        // M/M/1: mean response = 1 / (mu - lambda).
+        let lambda = 0.02; // jobs/ms
+        let mean_service = 25.0; // ms => mu = 0.04/ms, rho = 0.5
+        let mut sim = QueueSim::new();
+        let s = sim.add_server(ServiceTime::Exponential {
+            mean_ms: mean_service,
+        });
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson {
+                rate_per_ms: lambda,
+            },
+            120_000,
+            DetRng::new(11),
+        );
+        let stats = sim
+            .run_open(wl, route_all_to(s), &mut DetRng::new(12))
+            .expect("jobs completed");
+        let theory = 1.0 / (1.0 / mean_service - lambda); // 50 ms
+        let err = (stats.mean_ms - theory).abs() / theory;
+        assert!(err < 0.08, "mean {} vs theory {theory}", stats.mean_ms);
+    }
+
+    #[test]
+    fn federation_beats_central_server_under_load() {
+        // One central server at rho ~ 0.9 vs four federated servers each at
+        // rho ~ 0.225: the paper's scalability argument in miniature.
+        let lambda = 0.036;
+        let service = ServiceTime::Exponential { mean_ms: 25.0 };
+
+        let mut central = QueueSim::new();
+        let c = central.add_server(service);
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson {
+                rate_per_ms: lambda,
+            },
+            60_000,
+            DetRng::new(21),
+        );
+        let central_stats = central
+            .run_open(wl, route_all_to(c), &mut DetRng::new(22))
+            .expect("completed");
+
+        let mut fed = QueueSim::new();
+        for _ in 0..4 {
+            fed.add_server(service);
+        }
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson {
+                rate_per_ms: lambda,
+            },
+            60_000,
+            DetRng::new(21),
+        );
+        let fed_stats = fed
+            .run_open(wl, route_uniform(4), &mut DetRng::new(22))
+            .expect("completed");
+
+        assert!(
+            fed_stats.mean_ms * 3.0 < central_stats.mean_ms,
+            "federated {} vs central {}",
+            fed_stats.mean_ms,
+            central_stats.mean_ms
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = QueueSim::new();
+            let s = sim.add_server(ServiceTime::Deterministic(SimDuration::from_ms(10)));
+            let wl = OpenWorkload::new(
+                ArrivalProcess::Poisson { rate_per_ms: 0.05 },
+                5_000,
+                DetRng::new(5),
+            );
+            sim.run_open(wl, route_all_to(s), &mut DetRng::new(6))
+                .expect("completed")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn utilization_and_completed_exposed() {
+        let mut sim = QueueSim::new();
+        let s = sim.add_server(ServiceTime::Deterministic(SimDuration::from_ms(10)));
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Uniform { rate_per_ms: 0.05 },
+            10,
+            DetRng::new(1),
+        );
+        sim.run_open(wl, route_all_to(s), &mut DetRng::new(2))
+            .expect("completed");
+        assert_eq!(sim.completed(s), 10);
+        assert!(sim.utilization(s, SimTime::from_ms(200)) > 0.0);
+        assert_eq!(sim.server_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "QueueSim has no servers")]
+    fn run_without_servers_panics() {
+        let mut sim = QueueSim::new();
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Uniform { rate_per_ms: 1.0 },
+            1,
+            DetRng::new(1),
+        );
+        let _ = sim.run_open(wl, route_uniform(1), &mut DetRng::new(2));
+    }
+}

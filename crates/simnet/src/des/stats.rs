@@ -1,0 +1,117 @@
+//! Response-time statistics for queueing experiments.
+
+use crate::time::SimDuration;
+
+/// Aggregated response-time statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseStats {
+    /// Number of completed jobs.
+    pub completed: u64,
+    /// Mean response time (queueing + service), milliseconds.
+    pub mean_ms: f64,
+    /// Median response time, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile response time, milliseconds.
+    pub p95_ms: f64,
+    /// Maximum response time, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Accumulates per-job response times.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    samples_ms: Vec<f64>,
+}
+
+impl StatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one job's response time.
+    pub fn record(&mut self, response: SimDuration) {
+        self.samples_ms.push(response.as_ms_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Returns true if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// Finalizes into summary statistics.
+    ///
+    /// Returns `None` if no samples were recorded.
+    pub fn finish(mut self) -> Option<ResponseStats> {
+        if self.samples_ms.is_empty() {
+            return None;
+        }
+        self.samples_ms
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN response times"));
+        let n = self.samples_ms.len();
+        let sum: f64 = self.samples_ms.iter().sum();
+        let pct = |p: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            self.samples_ms[idx.min(n - 1)]
+        };
+        Some(ResponseStats {
+            completed: n as u64,
+            mean_ms: sum / n as f64,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            max_ms: self.samples_ms[n - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_collector_yields_none() {
+        assert!(StatsCollector::new().finish().is_none());
+        assert!(StatsCollector::new().is_empty());
+    }
+
+    #[test]
+    fn summary_of_known_samples() {
+        let mut c = StatsCollector::new();
+        for ms in [10, 20, 30, 40, 50] {
+            c.record(SimDuration::from_ms(ms));
+        }
+        assert_eq!(c.len(), 5);
+        let s = c.finish().expect("nonempty");
+        assert_eq!(s.completed, 5);
+        assert!((s.mean_ms - 30.0).abs() < 1e-9);
+        assert!((s.p50_ms - 30.0).abs() < 1e-9);
+        assert!((s.max_ms - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p95_is_near_the_top() {
+        let mut c = StatsCollector::new();
+        for ms in 1..=100 {
+            c.record(SimDuration::from_ms(ms));
+        }
+        let s = c.finish().expect("nonempty");
+        assert!((s.p95_ms - 95.0).abs() <= 1.0, "p95 {}", s.p95_ms);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut c = StatsCollector::new();
+        c.record(SimDuration::from_ms(7));
+        let s = c.finish().expect("nonempty");
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.mean_ms, 7.0);
+        assert_eq!(s.p50_ms, 7.0);
+        assert_eq!(s.p95_ms, 7.0);
+        assert_eq!(s.max_ms, 7.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Open-arrival workload generators.
+
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// The inter-arrival process of an open workload.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at the given rate (jobs per millisecond).
+    Poisson {
+        /// Mean arrival rate, jobs per millisecond.
+        rate_per_ms: f64,
+    },
+    /// Evenly spaced arrivals at the given rate (jobs per millisecond).
+    Uniform {
+        /// Arrival rate, jobs per millisecond.
+        rate_per_ms: f64,
+    },
+}
+
+/// An open workload: a stream of job arrival instants.
+#[derive(Debug)]
+pub struct OpenWorkload {
+    process: ArrivalProcess,
+    rng: DetRng,
+    next: SimTime,
+    emitted: u64,
+    limit: u64,
+}
+
+impl OpenWorkload {
+    /// Creates a workload emitting at most `limit` arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival rate is not strictly positive.
+    pub fn new(process: ArrivalProcess, limit: u64, rng: DetRng) -> Self {
+        let rate = match process {
+            ArrivalProcess::Poisson { rate_per_ms } | ArrivalProcess::Uniform { rate_per_ms } => {
+                rate_per_ms
+            }
+        };
+        assert!(rate > 0.0, "arrival rate must be positive");
+        OpenWorkload {
+            process,
+            rng,
+            next: SimTime::ZERO,
+            emitted: 0,
+            limit,
+        }
+    }
+
+    fn step(&mut self) -> SimTime {
+        let gap_ms = match self.process {
+            ArrivalProcess::Poisson { rate_per_ms } => self.rng.next_exp(1.0 / rate_per_ms),
+            ArrivalProcess::Uniform { rate_per_ms } => 1.0 / rate_per_ms,
+        };
+        self.next += crate::time::SimDuration::from_ms_f64(gap_ms);
+        self.next
+    }
+}
+
+impl Iterator for OpenWorkload {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.emitted >= self.limit {
+            return None;
+        }
+        self.emitted += 1;
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Uniform { rate_per_ms: 0.5 },
+            3,
+            DetRng::new(1),
+        );
+        let times: Vec<u64> = wl.map(|t| t.as_us()).collect();
+        assert_eq!(times, vec![2000, 4000, 6000]);
+    }
+
+    #[test]
+    fn poisson_rate_approximately_correct() {
+        let n = 50_000;
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson { rate_per_ms: 0.2 },
+            n,
+            DetRng::new(7),
+        );
+        let last = wl.last().expect("nonempty");
+        let measured_rate = n as f64 / last.as_ms_f64();
+        assert!((measured_rate - 0.2).abs() < 0.01, "rate {measured_rate}");
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson { rate_per_ms: 1.0 },
+            10,
+            DetRng::new(2),
+        );
+        assert_eq!(wl.count(), 10);
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let wl = OpenWorkload::new(
+            ArrivalProcess::Poisson { rate_per_ms: 3.0 },
+            1000,
+            DetRng::new(3),
+        );
+        let mut prev = SimTime::ZERO;
+        for t in wl {
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = OpenWorkload::new(
+            ArrivalProcess::Poisson { rate_per_ms: 0.0 },
+            1,
+            DetRng::new(1),
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The shared simulation environment.
+//!
+//! A [`World`] bundles the virtual clock, the host topology, the calibrated
+//! [`CostModel`], a [`Tracer`], and global operation counters. Every
+//! simulated component (RPC suites, name services, the HNS, NSMs) holds an
+//! `Arc<World>` and charges its costs against it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::clock::{Clock, VirtualClock};
+use crate::costs::{CostModel, Ms};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{HostId, Topology};
+use crate::trace::{TraceKind, Tracer};
+
+/// Global counters, useful for asserting the *structure* of operations
+/// (e.g. "a cold `FindNSM` makes exactly six remote data mappings").
+#[derive(Debug, Default)]
+pub struct Counters {
+    remote_calls: AtomicU64,
+    local_calls: AtomicU64,
+    bytes_sent: AtomicU64,
+    ns_lookups: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`Counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Remote (cross-host) calls made.
+    pub remote_calls: u64,
+    /// Local (same-host) calls made.
+    pub local_calls: u64,
+    /// Total bytes carried by the network.
+    pub bytes_sent: u64,
+    /// Lookups served by underlying name services.
+    pub ns_lookups: u64,
+}
+
+impl CounterSnapshot {
+    /// Componentwise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            remote_calls: self.remote_calls.saturating_sub(earlier.remote_calls),
+            local_calls: self.local_calls.saturating_sub(earlier.local_calls),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            ns_lookups: self.ns_lookups.saturating_sub(earlier.ns_lookups),
+        }
+    }
+}
+
+/// The simulation environment shared by all components.
+#[derive(Debug)]
+pub struct World {
+    /// The virtual clock all costs are charged against.
+    pub clock: VirtualClock,
+    /// Hosts on the simulated LAN.
+    pub topology: Topology,
+    /// The calibrated cost constants.
+    pub costs: CostModel,
+    /// Optional event recorder.
+    pub tracer: Tracer,
+    counters: Counters,
+}
+
+impl World {
+    /// Creates a world with the given cost model.
+    pub fn new(costs: CostModel) -> Arc<Self> {
+        Arc::new(World {
+            clock: VirtualClock::new(),
+            topology: Topology::new(),
+            costs,
+            tracer: Tracer::new(),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Creates a world with the paper-calibrated cost model.
+    pub fn paper() -> Arc<Self> {
+        Self::new(CostModel::paper_calibrated())
+    }
+
+    /// Adds a host to the topology.
+    pub fn add_host(&self, name: impl Into<String>) -> HostId {
+        self.topology.add_host(name)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Charges `ms` virtual milliseconds.
+    pub fn charge_ms(&self, ms: Ms) {
+        self.clock.advance(SimDuration::from_ms_f64(ms));
+    }
+
+    /// Charges a duration.
+    pub fn charge(&self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Records a trace event at the current instant.
+    pub fn trace(&self, host: Option<HostId>, kind: TraceKind, message: impl Into<String>) {
+        self.tracer.record(self.now(), host, kind, message.into());
+    }
+
+    /// Notes one remote (cross-host) call carrying `bytes` in total.
+    pub fn count_remote_call(&self, bytes: u64) {
+        self.counters.remote_calls.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Notes one local (same-host) call.
+    pub fn count_local_call(&self) {
+        self.counters.local_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes one lookup served by an underlying name service.
+    pub fn count_ns_lookup(&self) {
+        self.counters.ns_lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            remote_calls: self.counters.remote_calls.load(Ordering::Relaxed),
+            local_calls: self.counters.local_calls.load(Ordering::Relaxed),
+            bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
+            ns_lookups: self.counters.ns_lookups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Measures virtual time and counter deltas over `f`.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (R, SimDuration, CounterSnapshot) {
+        let t0 = self.now();
+        let c0 = self.counters();
+        let r = f();
+        let took = self.now().since(t0);
+        let delta = self.counters().since(&c0);
+        (r, took, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_advances_clock() {
+        let w = World::paper();
+        w.charge_ms(27.0);
+        assert_eq!(w.now().as_us(), 27_000);
+    }
+
+    #[test]
+    fn counters_track_calls() {
+        let w = World::paper();
+        w.count_remote_call(128);
+        w.count_remote_call(64);
+        w.count_local_call();
+        w.count_ns_lookup();
+        let c = w.counters();
+        assert_eq!(c.remote_calls, 2);
+        assert_eq!(c.local_calls, 1);
+        assert_eq!(c.bytes_sent, 192);
+        assert_eq!(c.ns_lookups, 1);
+    }
+
+    #[test]
+    fn measure_reports_deltas_only() {
+        let w = World::paper();
+        w.charge_ms(10.0);
+        w.count_remote_call(10);
+        let (val, took, delta) = w.measure(|| {
+            w.charge_ms(5.0);
+            w.count_remote_call(7);
+            "ok"
+        });
+        assert_eq!(val, "ok");
+        assert_eq!(took, SimDuration::from_ms(5));
+        assert_eq!(delta.remote_calls, 1);
+        assert_eq!(delta.bytes_sent, 7);
+    }
+
+    #[test]
+    fn trace_goes_through_tracer() {
+        let w = World::paper();
+        w.tracer.set_enabled(true);
+        w.trace(None, TraceKind::Info, "hello");
+        assert_eq!(w.tracer.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let a = CounterSnapshot {
+            remote_calls: 5,
+            local_calls: 2,
+            bytes_sent: 100,
+            ns_lookups: 3,
+        };
+        let b = CounterSnapshot {
+            remote_calls: 7,
+            local_calls: 2,
+            bytes_sent: 150,
+            ns_lookups: 4,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.remote_calls, 2);
+        assert_eq!(d.local_calls, 0);
+        assert_eq!(d.bytes_sent, 50);
+        assert_eq!(d.ns_lookups, 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! `hns-repro` — facade crate for the HCS Name Service reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests can use a single dependency. See the README for the
+//! architecture overview and DESIGN.md for the system inventory.
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use bindns;
+pub use clearinghouse;
+pub use hns_bench;
+pub use hns_core;
+pub use hrpc;
+pub use nsms;
+pub use simnet;
+pub use wire;
