@@ -1,0 +1,228 @@
+//! Criterion bench: the sharded, coalescing HNS cache vs the seed's
+//! global-mutex design under multi-threaded load.
+//!
+//! `SeedCache` below reproduces the pre-sharding implementation — one
+//! mutex around one map, values cloned out of the entry on every
+//! demarshalled hit — so the comparison measures exactly what the
+//! redesign changed. Each benchmark iteration fans N threads out over a
+//! shared cache doing demarshalled hits on disjoint hot keys; wall-clock
+//! time (iter_custom) captures the lock contention the virtual-time
+//! simulation deliberately ignores.
+//!
+//! The second group measures singleflight: K threads all missing on one
+//! key, where the new cache collapses the K fetches into 1.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hns_core::cache::{CacheLookup, CacheMode, FetchTicket, HnsCache, MetaKey};
+use parking_lot::Mutex;
+use simnet::time::{SimDuration, SimTime};
+use simnet::World;
+use std::hint::black_box;
+use wire::Value;
+
+/// The seed's cache: one mutex, one map, demarshalled values cloned out.
+struct SeedCache {
+    entries: Mutex<HashMap<MetaKey, (Value, SimTime)>>,
+}
+
+impl SeedCache {
+    fn new() -> Self {
+        SeedCache {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn insert(&self, world: &World, key: MetaKey, value: &Value, ttl_secs: u32) {
+        let expires = world.now() + SimDuration::from_ms(u64::from(ttl_secs) * 1000);
+        self.entries.lock().insert(key, (value.clone(), expires));
+    }
+
+    fn get(&self, world: &World, key: &MetaKey) -> Option<Value> {
+        world.charge_ms(world.costs.cache_probe);
+        let mut entries = self.entries.lock();
+        match entries.get(key) {
+            Some((value, expires)) if *expires > world.now() => {
+                world.charge_ms(world.costs.cache_hit(simnet::CacheForm::Demarshalled, 1));
+                Some(value.clone())
+            }
+            Some(_) => {
+                entries.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+const KEYS_PER_THREAD: usize = 8;
+const HITS_PER_THREAD: usize = 2_000;
+
+fn hot_key(thread: usize, i: usize) -> MetaKey {
+    MetaKey::HostAddr(
+        format!("ns-{thread}"),
+        format!("host-{}", i % KEYS_PER_THREAD),
+    )
+}
+
+fn payload() -> Value {
+    Value::List((0..4).map(|i| Value::str(format!("payload {i}"))).collect())
+}
+
+/// Runs `threads` workers hammering `hit` on disjoint key sets; returns
+/// total wall-clock time for `iters` repetitions of the whole fan-out.
+fn contended_run<F>(iters: u64, threads: usize, hit: F) -> Duration
+where
+    F: Fn(usize, usize) + Send + Sync,
+{
+    let hit = &hit;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    for i in 0..HITS_PER_THREAD {
+                        hit(t, i);
+                    }
+                });
+            }
+        });
+    }
+    start.elapsed()
+}
+
+fn bench_contended_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_contended_hits");
+    for &threads in &[1usize, 4, 8] {
+        let world = World::paper();
+        let seed = SeedCache::new();
+        for t in 0..threads {
+            for i in 0..KEYS_PER_THREAD {
+                seed.insert(&world, hot_key(t, i), &payload(), 1 << 20);
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("seed_global_mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    contended_run(iters, threads, |t, i| {
+                        black_box(seed.get(&world, &hot_key(t, i)));
+                    })
+                })
+            },
+        );
+
+        let sharded = HnsCache::new(CacheMode::Demarshalled);
+        for t in 0..threads {
+            for i in 0..KEYS_PER_THREAD {
+                sharded.insert(&world, hot_key(t, i), &payload(), 4, 1 << 20);
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    contended_run(iters, threads, |t, i| {
+                        match sharded.lookup(&world, &hot_key(t, i)) {
+                            CacheLookup::Hit { value, .. } => {
+                                black_box(value);
+                            }
+                            other => panic!("expected hit, got {other:?}"),
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_singleflight_collapse(c: &mut Criterion) {
+    // K threads miss on one key at once. The leader "fetches" (sleeps a
+    // simulated RTT) and inserts; everyone else coalesces. Total fetches
+    // stay at 1 per cold key, no matter how many threads raced.
+    const FETCH_COST: Duration = Duration::from_micros(200);
+    let mut group = c.benchmark_group("cache_singleflight");
+    for &threads in &[4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("coalesced_cold_miss", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let world = World::paper();
+                    let mut total = Duration::ZERO;
+                    for round in 0..iters {
+                        let cache = Arc::new(HnsCache::new(CacheMode::Demarshalled));
+                        let fetches = Arc::new(AtomicU64::new(0));
+                        let barrier = Arc::new(Barrier::new(threads));
+                        let key = MetaKey::HostAddr("ns".into(), format!("cold-{round}"));
+                        let start = Instant::now();
+                        std::thread::scope(|scope| {
+                            for _ in 0..threads {
+                                let cache = Arc::clone(&cache);
+                                let fetches = Arc::clone(&fetches);
+                                let barrier = Arc::clone(&barrier);
+                                let key = key.clone();
+                                let world = &world;
+                                scope.spawn(move || {
+                                    barrier.wait();
+                                    loop {
+                                        if let CacheLookup::Hit { value, .. } =
+                                            cache.lookup(world, &key)
+                                        {
+                                            black_box(value);
+                                            return;
+                                        }
+                                        match cache.begin_fetch(&key) {
+                                            FetchTicket::Leader(_guard) => {
+                                                fetches.fetch_add(1, Ordering::SeqCst);
+                                                std::thread::sleep(FETCH_COST);
+                                                cache.insert(
+                                                    world,
+                                                    key.clone(),
+                                                    &payload(),
+                                                    4,
+                                                    600,
+                                                );
+                                                return;
+                                            }
+                                            FetchTicket::Coalesced => continue,
+                                        }
+                                    }
+                                });
+                            }
+                        });
+                        total += start.elapsed();
+                        assert_eq!(
+                            fetches.load(Ordering::SeqCst),
+                            1,
+                            "singleflight must collapse to one fetch"
+                        );
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_contended_hits, bench_singleflight_collapse
+}
+criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Experiment ids: `table31 table32 overhead comparison preload eq1
-//! figure21 mappings ablate-mappings ablate-ttl scalability ablate-rereg`.
+//! figure21 mappings ablate-batching ablate-mappings ablate-ttl
+//! scalability ablate-rereg`.
 
 use hns_bench::experiments as exp;
 
@@ -45,6 +46,7 @@ fn run_one(id: &str) -> Result<String, String> {
         "figure21" => exp::figure21::run(),
         "hit-ratios" => exp::hit_ratios::run().table.render(),
         "mappings" => exp::mappings::run().render(),
+        "ablate-batching" => exp::ablate_batching::run().render(),
         "ablate-mappings" => exp::ablate_mappings::run().render(),
         "ablate-ttl" => exp::ablate_ttl::run().render(),
         "scalability" => exp::scalability::run().render(),
@@ -64,6 +66,7 @@ const ALL: &[&str] = &[
     "figure21",
     "hit-ratios",
     "mappings",
+    "ablate-batching",
     "ablate-mappings",
     "ablate-ttl",
     "scalability",

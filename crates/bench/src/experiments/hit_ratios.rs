@@ -43,6 +43,9 @@ pub struct PlacementRun {
     pub mean_ms: f64,
     /// Cache hit fraction achieved.
     pub hit_fraction: f64,
+    /// Probes that found an entry whose TTL had lapsed (counted apart
+    /// from plain misses).
+    pub expired: u64,
 }
 
 /// The experiment's full result.
@@ -116,6 +119,7 @@ fn run_linked(tb: &Testbed, pairs: &[(QueryClass, HnsName)]) -> PlacementRun {
     let mut total_ms = 0.0;
     let mut hits = 0u64;
     let mut lookups = 0u64;
+    let mut expired = 0u64;
     for client_idx in 0..CLIENTS {
         // A fresh process: its linked HNS starts cold.
         let _ = client_idx;
@@ -133,11 +137,13 @@ fn run_linked(tb: &Testbed, pairs: &[(QueryClass, HnsName)]) -> PlacementRun {
         }
         let stats = hns.cache_stats();
         hits += stats.hits;
-        lookups += stats.hits + stats.misses;
+        lookups += stats.hits + stats.misses + stats.expired;
+        expired += stats.expired;
     }
     PlacementRun {
         mean_ms: total_ms / (CLIENTS * CALLS_PER_CLIENT) as f64,
         hit_fraction: hits as f64 / lookups.max(1) as f64,
+        expired,
     }
 }
 
@@ -172,7 +178,8 @@ fn run_remote(tb: &Testbed, pairs: &[(QueryClass, HnsName)]) -> PlacementRun {
     let stats = hns.cache_stats();
     PlacementRun {
         mean_ms: total_ms / (CLIENTS * CALLS_PER_CLIENT) as f64,
-        hit_fraction: stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64,
+        hit_fraction: stats.hits as f64 / (stats.hits + stats.misses + stats.expired).max(1) as f64,
+        expired: stats.expired,
     }
 }
 
@@ -206,21 +213,24 @@ pub fn run() -> HitRatioResults {
              {} context/query-class pairs",
             pairs.len()
         ),
-        vec!["placement", "hit fraction", "mean FindNSM (ms)"],
+        vec!["placement", "hit fraction", "expired", "mean FindNSM (ms)"],
     );
     table.push_row(vec![
         "linked per process (cold each lifetime)".into(),
         format!("{:.1}%", linked.hit_fraction * 100.0),
+        linked.expired.to_string(),
         format!("{:.1}", linked.mean_ms),
     ]);
     table.push_row(vec![
         "remote shared server (long-lived)".into(),
         format!("{:.1}%", remote.hit_fraction * 100.0),
+        remote.expired.to_string(),
         format!("{:.1}", remote.mean_ms),
     ]);
     table.push_row(vec![
         format!("measured q = {:.1}%", q_measured * 100.0),
         format!("eq(1) threshold = {:.1}%", q_threshold * 100.0),
+        String::new(),
         if q_measured > q_threshold {
             "=> place HNS REMOTE"
         } else {

@@ -1,6 +1,7 @@
 //! One module per reproduced table, figure, inline claim, or ablation.
 //! DESIGN.md's experiment index maps each to the paper.
 
+pub mod ablate_batching;
 pub mod ablate_mappings;
 pub mod ablate_rereg;
 pub mod ablate_ttl;

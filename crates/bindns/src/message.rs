@@ -22,6 +22,10 @@ pub const PROC_AXFR: u32 = 2;
 pub const PROC_UPDATE: u32 = 3;
 /// Procedure: read a zone's serial.
 pub const PROC_SERIAL: u32 = 4;
+/// Procedure: multi-question lookup whose reply may piggyback speculative
+/// additional record sets (the batched meta pipeline; see
+/// [`crate::server::AdditionalProvider`]).
+pub const PROC_MQUERY: u32 = 5;
 
 /// A lookup question.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,6 +206,115 @@ impl Answer {
     }
 }
 
+/// A batched request: one or more questions plus free-form *hints* that
+/// tell the server's additional-record provider what the client is about
+/// to look up next (for the HNS meta pipeline, the query class being
+/// resolved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiQuestion {
+    /// The questions to answer, in order.
+    pub questions: Vec<Question>,
+    /// Provider hints (opaque to the server proper).
+    pub hints: Vec<String>,
+}
+
+impl MultiQuestion {
+    /// Builds a batched request.
+    pub fn new(questions: Vec<Question>, hints: Vec<String>) -> Self {
+        MultiQuestion { questions, hints }
+    }
+
+    /// Serializes to a wire value.
+    pub fn to_value(&self) -> Value {
+        Value::record(vec![
+            (
+                "questions",
+                Value::List(self.questions.iter().map(Question::to_value).collect()),
+            ),
+            (
+                "hints",
+                Value::List(self.hints.iter().map(Value::str).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes from a wire value.
+    pub fn from_value(v: &Value) -> NsResult<MultiQuestion> {
+        let questions = v
+            .field("questions")
+            .and_then(Value::as_list)
+            .map_err(|e| NsError::BadRecord(e.to_string()))?
+            .iter()
+            .map(Question::from_value)
+            .collect::<NsResult<Vec<_>>>()?;
+        let hints = v
+            .field("hints")
+            .and_then(Value::as_list)
+            .map_err(|e| NsError::BadRecord(e.to_string()))?
+            .iter()
+            .map(|h| {
+                h.as_str()
+                    .map(str::to_string)
+                    .map_err(|e| NsError::BadRecord(e.to_string()))
+            })
+            .collect::<NsResult<Vec<_>>>()?;
+        Ok(MultiQuestion { questions, hints })
+    }
+}
+
+/// A batched reply: one answer per question, plus any speculative
+/// *additional* record sets the server chose to piggyback. Each additional
+/// answer is a complete single-owner record set (its owner name is carried
+/// by the records themselves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiAnswer {
+    /// Answers aligned with the request's questions.
+    pub answers: Vec<Answer>,
+    /// Speculative additional record sets.
+    pub additional: Vec<Answer>,
+}
+
+impl MultiAnswer {
+    /// Total records across answers and additional sets (drives the
+    /// client's demarshalling cost).
+    pub fn total_records(&self) -> usize {
+        self.answers
+            .iter()
+            .chain(self.additional.iter())
+            .map(|a| a.records.len())
+            .sum()
+    }
+
+    /// Serializes to a wire value.
+    pub fn to_value(&self) -> NsResult<Value> {
+        let encode = |set: &[Answer]| -> NsResult<Value> {
+            Ok(Value::List(
+                set.iter().map(Answer::to_value).collect::<NsResult<_>>()?,
+            ))
+        };
+        Ok(Value::record(vec![
+            ("answers", encode(&self.answers)?),
+            ("additional", encode(&self.additional)?),
+        ]))
+    }
+
+    /// Deserializes from a wire value.
+    pub fn from_value(v: &Value) -> NsResult<MultiAnswer> {
+        let decode = |field: &str| -> NsResult<Vec<Answer>> {
+            v.field(field)
+                .and_then(Value::as_list)
+                .map_err(|e| NsError::BadRecord(e.to_string()))?
+                .iter()
+                .map(Answer::from_value)
+                .collect()
+        };
+        Ok(MultiAnswer {
+            answers: decode("answers")?,
+            additional: decode("additional")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +381,39 @@ mod tests {
         let q = Question::new(name("fiji.cs.washington.edu"), RType::A);
         let a = sample_answer(2);
         assert_eq!(a.into_result(&q).expect("ok").len(), 2);
+    }
+
+    #[test]
+    fn multi_question_value_roundtrip() {
+        let mq = MultiQuestion::new(
+            vec![
+                Question::new(name("ctx.bind-uw.hns"), RType::Unspec),
+                Question::new(name("fiji.cs.washington.edu"), RType::A),
+            ],
+            vec!["hrpcbinding".into()],
+        );
+        let back = MultiQuestion::from_value(&mq.to_value()).expect("roundtrip");
+        assert_eq!(back, mq);
+    }
+
+    #[test]
+    fn multi_question_accepts_empty_hints() {
+        let mq = MultiQuestion::new(vec![Question::new(name("a.hns"), RType::Unspec)], vec![]);
+        assert_eq!(
+            MultiQuestion::from_value(&mq.to_value()).expect("roundtrip"),
+            mq
+        );
+    }
+
+    #[test]
+    fn multi_answer_value_roundtrip_and_counts_records() {
+        let ma = MultiAnswer {
+            answers: vec![sample_answer(1), Answer::err(Rcode::NameError)],
+            additional: vec![sample_answer(6), sample_answer(2)],
+        };
+        assert_eq!(ma.total_records(), 9);
+        let v = ma.to_value().expect("to value");
+        assert_eq!(MultiAnswer::from_value(&v).expect("from value"), ma);
     }
 
     #[test]

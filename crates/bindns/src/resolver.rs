@@ -17,7 +17,9 @@ use hrpc::net::RpcNet;
 use hrpc::HrpcBinding;
 
 use crate::cache::TtlCache;
-use crate::message::{Answer, Question, PROC_QUERY, PROC_UPDATE};
+use crate::message::{
+    Answer, MultiAnswer, MultiQuestion, Question, PROC_MQUERY, PROC_QUERY, PROC_UPDATE,
+};
 use crate::name::DomainName;
 use crate::rr::{RType, ResourceRecord};
 use crate::update::UpdateOp;
@@ -147,6 +149,30 @@ impl HrpcResolver {
             }
             other => RpcError::Service(other.to_string()),
         })
+    }
+
+    /// Sends a multi-question query in one round trip; the reply may carry
+    /// speculative additional record sets if the server has an
+    /// [`crate::server::AdditionalProvider`] installed.
+    ///
+    /// Marshalling is charged per record set — the batch saves transport
+    /// round trips and per-call resolver overhead, not demarshalling work.
+    pub fn mquery(&self, questions: &[Question], hints: &[String]) -> RpcResult<MultiAnswer> {
+        let mq = MultiQuestion::new(questions.to_vec(), hints.to_vec());
+        let reply = self
+            .net
+            .call(self.host, &self.server, PROC_MQUERY, &mq.to_value())?;
+        let multi =
+            MultiAnswer::from_value(&reply).map_err(|e| RpcError::Service(e.to_string()))?;
+        let world = self.net.world();
+        // Every returned set still pays generated demarshalling, but the
+        // whole batch pays the fixed interface overhead exactly once.
+        let mut marshal_ms = world.costs.bind_resolver_overhead;
+        for answer in multi.answers.iter().chain(multi.additional.iter()) {
+            marshal_ms += world.costs.generated_miss(answer.records.len().max(1));
+        }
+        world.charge_ms(marshal_ms);
+        Ok(multi)
     }
 
     /// Sends a dynamic update (requires the modified server).
@@ -286,6 +312,61 @@ mod tests {
             resolver.query(&name("ghost.cs.washington.edu"), RType::A),
             Err(RpcError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn mquery_answers_all_questions_in_one_round_trip() {
+        let (world, net, client, dep) = setup();
+        let resolver = HrpcResolver::new(net, client, dep.hrpc_binding);
+        let questions = vec![
+            Question::new(name("fiji.cs.washington.edu"), RType::A),
+            Question::new(name("ghost.cs.washington.edu"), RType::A),
+        ];
+        let (result, _, delta) = world.measure(|| resolver.mquery(&questions, &[]));
+        let multi = result.expect("mquery");
+        assert_eq!(delta.remote_calls, 1, "batch must be a single round trip");
+        assert_eq!(multi.answers.len(), 2);
+        assert_eq!(multi.answers[0].rcode, crate::error::Rcode::Ok);
+        assert_eq!(multi.answers[0].records.len(), 1);
+        assert_ne!(multi.answers[1].rcode, crate::error::Rcode::Ok);
+        assert!(multi.additional.is_empty(), "no provider installed");
+    }
+
+    #[test]
+    fn mquery_charges_overhead_once() {
+        // Two sequential 1-RR queries pay bind_resolver_overhead twice; an
+        // mquery of the same two questions pays it once. The saving per
+        // elided call is one RTT plus one overhead.
+        let (world, net, client, dep) = setup();
+        dep.server.with_db(|db| {
+            db.find_zone_mut(&name("tonga.cs.washington.edu"))
+                .expect("zone")
+                .add(ResourceRecord::a(
+                    name("tonga.cs.washington.edu"),
+                    86_400,
+                    NetAddr::of(HostId(10)),
+                ))
+                .expect("add");
+        });
+        let resolver = HrpcResolver::new(net, client, dep.hrpc_binding);
+        let q1 = name("fiji.cs.washington.edu");
+        let q2 = name("tonga.cs.washington.edu");
+        let (_, seq_took, _) = world.measure(|| {
+            resolver.query(&q1, RType::A).expect("q1");
+            resolver.query(&q2, RType::A).expect("q2");
+        });
+        let questions = vec![
+            Question::new(q1.clone(), RType::A),
+            Question::new(q2.clone(), RType::A),
+        ];
+        let (_, batch_took, _) = world.measure(|| resolver.mquery(&questions, &[]).expect("mq"));
+        let saving = seq_took.as_ms_f64() - batch_took.as_ms_f64();
+        let expected =
+            world.costs.rpc_rtt(simnet::RpcSuiteKind::RawTcp) + world.costs.bind_resolver_overhead;
+        assert!(
+            (saving - expected).abs() < 1.0,
+            "batch saving {saving} ms, expected ~{expected}"
+        );
     }
 
     #[test]

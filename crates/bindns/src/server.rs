@@ -26,11 +26,35 @@ use wire::Value;
 
 use crate::db::ZoneDb;
 use crate::error::{NsError, Rcode};
-use crate::message::{Answer, Question, PROC_AXFR, PROC_QUERY, PROC_SERIAL, PROC_UPDATE};
+use crate::message::{
+    Answer, MultiAnswer, MultiQuestion, Question, PROC_AXFR, PROC_MQUERY, PROC_QUERY, PROC_SERIAL,
+    PROC_UPDATE,
+};
 use crate::name::DomainName;
 use crate::rr::ResourceRecord;
 use crate::update::UpdateOp;
 use crate::zone::Zone;
+
+/// Supplies speculative additional record sets for a batched query
+/// ([`PROC_MQUERY`]).
+///
+/// Given the first question and its successful answer, a provider may chase
+/// further lookups against the zone database and return the record sets the
+/// client is likely to ask for next, so they ride back in the same reply.
+/// The server charges one service quantum per returned set — the provider
+/// does a real lookup's work; only the per-call transport is elided.
+pub trait AdditionalProvider: Send + Sync {
+    /// Returns additional `(owner name, records)` sets to piggyback onto
+    /// the reply. `hints` are opaque client-supplied strings (for the HNS
+    /// meta pipeline, the query classes being resolved).
+    fn additional(
+        &self,
+        db: &ZoneDb,
+        question: &Question,
+        answer: &[ResourceRecord],
+        hints: &[String],
+    ) -> Vec<(DomainName, Vec<ResourceRecord>)>;
+}
 
 /// The Sun-style program number BIND servers are exported under.
 pub const BIND_PROGRAM: ProgramId = ProgramId(100_053);
@@ -43,6 +67,7 @@ pub struct BindServer {
     db: RwLock<ZoneDb>,
     allow_updates: bool,
     allow_unspec: bool,
+    additional: RwLock<Option<Arc<dyn AdditionalProvider>>>,
 }
 
 impl BindServer {
@@ -53,6 +78,7 @@ impl BindServer {
             db: RwLock::new(db),
             allow_updates: false,
             allow_unspec: false,
+            additional: RwLock::new(None),
         })
     }
 
@@ -64,12 +90,20 @@ impl BindServer {
             db: RwLock::new(db),
             allow_updates: true,
             allow_unspec: true,
+            additional: RwLock::new(None),
         })
     }
 
     /// Whether dynamic updates are accepted.
     pub fn updates_enabled(&self) -> bool {
         self.allow_updates
+    }
+
+    /// Installs (or replaces) the additional-record provider consulted by
+    /// [`PROC_MQUERY`]. Without one, batched queries still answer every
+    /// question but piggyback nothing.
+    pub fn set_additional_provider(&self, provider: Arc<dyn AdditionalProvider>) {
+        *self.additional.write() = Some(provider);
     }
 
     /// Runs a lookup directly against the database (test/seed access; does
@@ -87,23 +121,28 @@ impl BindServer {
         f(&mut self.db.write())
     }
 
-    fn serve_query(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
-        ctx.world.charge_ms(ctx.world.costs.bind_service);
-        ctx.world.count_ns_lookup();
-        let question = Question::from_value(args).map_err(service_err)?;
-        let db = self.db.read();
-        // A zone cut below the authoritative data produces a referral to
-        // the delegated servers rather than an answer.
+    /// Answers one question against the database, honoring zone cuts: a
+    /// delegation below the authoritative data produces a referral to the
+    /// delegated servers rather than an answer.
+    fn answer_one(db: &ZoneDb, question: &Question) -> Answer {
         let delegation = db
             .find_zone(&question.name)
             .and_then(|zone| zone.find_delegation(&question.name));
-        let answer = match delegation {
+        match delegation {
             Some(records) => Answer {
                 rcode: Rcode::Referral,
                 records,
             },
             None => Answer::from_result(db.lookup(&question.name, question.rtype)),
-        };
+        }
+    }
+
+    fn serve_query(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
+        ctx.world.charge_ms(ctx.world.costs.bind_service);
+        ctx.world.count_ns_lookup();
+        let question = Question::from_value(args).map_err(service_err)?;
+        let db = self.db.read();
+        let answer = Self::answer_one(&db, &question);
         drop(db);
         ctx.world.trace(
             Some(ctx.host),
@@ -118,6 +157,54 @@ impl BindServer {
             ),
         );
         answer.to_value().map_err(service_err)
+    }
+
+    fn serve_mquery(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
+        let mq = MultiQuestion::from_value(args).map_err(service_err)?;
+        let db = self.db.read();
+        let mut answers = Vec::with_capacity(mq.questions.len());
+        for question in &mq.questions {
+            // Each question is a full lookup's work on the server, exactly
+            // as if it had arrived alone; the batch elides only transport.
+            ctx.world.charge_ms(ctx.world.costs.bind_service);
+            ctx.world.count_ns_lookup();
+            answers.push(Self::answer_one(&db, question));
+        }
+        let mut additional = Vec::new();
+        let provider = self.additional.read().clone();
+        if let Some(provider) = provider {
+            if let (Some(question), Some(answer)) = (mq.questions.first(), answers.first()) {
+                if answer.rcode == Rcode::Ok {
+                    for (_owner, records) in
+                        provider.additional(&db, question, &answer.records, &mq.hints)
+                    {
+                        if records.is_empty() {
+                            continue;
+                        }
+                        ctx.world.charge_ms(ctx.world.costs.bind_service);
+                        ctx.world.count_ns_lookup();
+                        additional.push(Answer::ok(records));
+                    }
+                }
+            }
+        }
+        drop(db);
+        ctx.world.trace(
+            Some(ctx.host),
+            TraceKind::NameService,
+            format!(
+                "{}: mquery {} questions -> {} additional sets",
+                self.name,
+                mq.questions.len(),
+                additional.len()
+            ),
+        );
+        MultiAnswer {
+            answers,
+            additional,
+        }
+        .to_value()
+        .map_err(service_err)
     }
 
     fn serve_axfr(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
@@ -203,6 +290,7 @@ impl RpcService for BindServer {
     fn dispatch(&self, ctx: &CallCtx<'_>, proc_id: u32, args: &Value) -> RpcResult<Value> {
         match proc_id {
             PROC_QUERY => self.serve_query(ctx, args),
+            PROC_MQUERY => self.serve_mquery(ctx, args),
             PROC_AXFR => self.serve_axfr(ctx, args),
             PROC_UPDATE => self.serve_update(ctx, args),
             PROC_SERIAL => self.serve_serial(ctx, args),
@@ -370,6 +458,101 @@ mod tests {
             .expect("call");
         let answer = Answer::from_value(&reply).expect("decode");
         assert_eq!(answer.records, vec![rr]);
+    }
+
+    /// Test provider: for every hint, attaches the A records of
+    /// `<hint>.cs.washington.edu` when present.
+    struct HintProvider;
+
+    impl AdditionalProvider for HintProvider {
+        fn additional(
+            &self,
+            db: &ZoneDb,
+            _question: &Question,
+            _answer: &[ResourceRecord],
+            hints: &[String],
+        ) -> Vec<(DomainName, Vec<ResourceRecord>)> {
+            hints
+                .iter()
+                .filter_map(|hint| {
+                    let owner = name(&format!("{hint}.cs.washington.edu"));
+                    match db.lookup(&owner, RType::A) {
+                        Ok(records) => Some((owner, records)),
+                        Err(_) => None,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn mquery_without_provider_answers_each_question() {
+        let (_world, net, client, dep) = setup(false);
+        let mq = MultiQuestion::new(
+            vec![
+                Question::new(name("fiji.cs.washington.edu"), RType::A),
+                Question::new(name("ghost.cs.washington.edu"), RType::A),
+            ],
+            vec!["fiji".to_string()],
+        );
+        let reply = net
+            .call(client, &dep.hrpc_binding, PROC_MQUERY, &mq.to_value())
+            .expect("call");
+        let multi = MultiAnswer::from_value(&reply).expect("decode");
+        assert_eq!(multi.answers.len(), 2);
+        assert_eq!(multi.answers[0].rcode, Rcode::Ok);
+        assert_eq!(multi.answers[1].rcode, Rcode::NameError);
+        assert!(multi.additional.is_empty());
+    }
+
+    #[test]
+    fn mquery_provider_piggybacks_additional_sets() {
+        let (world, net, client, dep) = setup(true);
+        dep.server.with_db(|db| {
+            db.find_zone_mut(&name("tonga.cs.washington.edu"))
+                .expect("zone")
+                .add(ResourceRecord::a(
+                    name("tonga.cs.washington.edu"),
+                    86_400,
+                    NetAddr::of(HostId(8)),
+                ))
+                .expect("add");
+        });
+        dep.server.set_additional_provider(Arc::new(HintProvider));
+        let mq = MultiQuestion::new(
+            vec![Question::new(name("fiji.cs.washington.edu"), RType::A)],
+            vec!["tonga".to_string(), "missing".to_string()],
+        );
+        let (reply, _, delta) =
+            world.measure(|| net.call(client, &dep.hrpc_binding, PROC_MQUERY, &mq.to_value()));
+        let multi = MultiAnswer::from_value(&reply.expect("call")).expect("decode");
+        assert_eq!(multi.answers.len(), 1);
+        assert_eq!(multi.additional.len(), 1, "one hint resolves");
+        assert_eq!(multi.additional[0].records.len(), 1);
+        assert_eq!(delta.remote_calls, 1);
+        // One lookup for the question, one for the attached set; the
+        // unresolvable hint is probed by the provider but not charged as an
+        // answered set.
+        assert_eq!(delta.ns_lookups, 2);
+    }
+
+    #[test]
+    fn mquery_skips_additional_when_primary_fails() {
+        let (_world, net, client, dep) = setup(true);
+        dep.server.set_additional_provider(Arc::new(HintProvider));
+        let mq = MultiQuestion::new(
+            vec![Question::new(name("ghost.cs.washington.edu"), RType::A)],
+            vec!["fiji".to_string()],
+        );
+        let reply = net
+            .call(client, &dep.hrpc_binding, PROC_MQUERY, &mq.to_value())
+            .expect("call");
+        let multi = MultiAnswer::from_value(&reply).expect("decode");
+        assert_eq!(multi.answers[0].rcode, Rcode::NameError);
+        assert!(
+            multi.additional.is_empty(),
+            "no speculation off a failed primary"
+        );
     }
 
     #[test]

@@ -11,18 +11,46 @@
 //!   implementation: "we kept data in its marshalled form, and demarshalled
 //!   it upon every access, expecting that marshalling was a minor expense").
 //! * **Demarshalled** — entries are kept decoded; a hit is a map lookup
-//!   plus a copy ("by simply changing the cache to keep demarshalled
-//!   information, the times decreased dramatically").
+//!   plus a reference-count bump ("by simply changing the cache to keep
+//!   demarshalled information, the times decreased dramatically").
 //!
 //! Entries are TTL-tagged, inheriting BIND's invalidation regime.
+//!
+//! Beyond the paper's design, this cache is built for a multi-threaded
+//! HNS:
+//!
+//! * **Lock striping** — entries live in [`SHARDS`] independently-locked
+//!   shards, so concurrent lookups on different keys never contend.
+//! * **Arc-shared hits** — demarshalled entries are stored as
+//!   `Arc<Value>` and hits hand back a clone of the `Arc`, not of the
+//!   value.
+//! * **Miss coalescing** — [`HnsCache::begin_fetch`] is a singleflight
+//!   gate: of K threads missing on the same key, one becomes the
+//!   [`FetchTicket::Leader`] and performs the remote fetch while the
+//!   others block until it finishes, then re-probe the cache.
+//! * **Negative caching** — a `NotFound` can be remembered via
+//!   [`HnsCache::insert_negative`] for a (short, separate) TTL, so
+//!   repeated lookups of absent names do not hammer the meta server.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 use simnet::time::{SimDuration, SimTime};
 use simnet::world::World;
 use simnet::CacheForm;
 use wire::Value;
+
+/// Number of lock-striped shards.
+pub const SHARDS: usize = 16;
+
+/// Default TTL for negative entries, seconds. Deliberately much shorter
+/// than the positive [`crate::meta::META_TTL`]: absence is the cheapest
+/// fact to recompute and the most dangerous to over-remember.
+pub const NEGATIVE_TTL: u32 = 30;
 
 /// Whether and how the HNS caches meta information.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +61,24 @@ pub enum CacheMode {
     Marshalled,
     /// Cache decoded values; hits are nearly free.
     Demarshalled,
+}
+
+impl CacheMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            CacheMode::Disabled => 0,
+            CacheMode::Marshalled => 1,
+            CacheMode::Demarshalled => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> CacheMode {
+        match v {
+            1 => CacheMode::Marshalled,
+            2 => CacheMode::Demarshalled,
+            _ => CacheMode::Disabled,
+        }
+    }
 }
 
 /// Keys for the six data mappings a `FindNSM` performs.
@@ -52,7 +98,9 @@ pub enum MetaKey {
 #[derive(Debug)]
 enum Stored {
     Bytes(Vec<u8>),
-    Decoded(Value),
+    Decoded(Arc<Value>),
+    /// The name was authoritatively absent when cached.
+    Negative,
 }
 
 #[derive(Debug)]
@@ -67,89 +115,319 @@ struct Entry {
 pub struct HnsCacheStats {
     /// Live-entry hits.
     pub hits: u64,
-    /// Misses (including TTL expirations).
+    /// Probes that found nothing cached (absent or decode failure —
+    /// TTL expirations are counted in [`HnsCacheStats::expired`]).
     pub misses: u64,
-    /// Entries inserted.
+    /// Probes that found an entry whose TTL had lapsed.
+    pub expired: u64,
+    /// Probes answered by a live negative entry.
+    pub negative_hits: u64,
+    /// Fetches avoided by coalescing onto another thread's in-flight
+    /// fetch for the same key.
+    pub coalesced: u64,
+    /// Entries inserted (negatives not counted).
     pub inserts: u64,
     /// Entries inserted by preload.
     pub preloaded: u64,
 }
 
-/// The HNS cache.
-pub struct HnsCache {
-    mode: Mutex<CacheMode>,
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expired: AtomicU64,
+    negative_hits: AtomicU64,
+    coalesced: AtomicU64,
+    inserts: AtomicU64,
+    preloaded: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> HnsCacheStats {
+        HnsCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            preloaded: self.preloaded.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.expired.store(0, Ordering::Relaxed);
+        self.negative_hits.store(0, Ordering::Relaxed);
+        self.coalesced.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.preloaded.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One in-flight fetch that other threads can wait on.
+///
+/// Built on `std::sync` primitives (not `parking_lot`) because waiters
+/// must tolerate a leader that panicked mid-fetch: the guard's `Drop`
+/// still completes the flight, and lock poisoning is explicitly absorbed.
+struct Flight {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn complete(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        drop(done);
+        self.cv.notify_all();
+    }
+}
+
+struct Shard {
     entries: Mutex<HashMap<MetaKey, Entry>>,
-    stats: Mutex<HnsCacheStats>,
+    in_flight: Mutex<HashMap<MetaKey, Arc<Flight>>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            entries: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Result of a cost-charged cache probe.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// A live entry: the (shared) value and its remaining TTL in seconds,
+    /// rounded up so a just-inserted entry reports its full TTL.
+    Hit {
+        /// The cached value; demarshalled hits share the stored allocation.
+        value: Arc<Value>,
+        /// Seconds of validity the entry still has.
+        remaining_ttl_secs: u32,
+    },
+    /// A live negative entry: the name was authoritatively absent within
+    /// the negative TTL.
+    NegativeHit,
+    /// Nothing cached (absent, expired, or undecodable).
+    Miss,
+}
+
+/// Outcome of [`HnsCache::begin_fetch`] after a miss.
+pub enum FetchTicket<'a> {
+    /// This caller owns the fetch; the guard must stay alive until the
+    /// fetched value has been inserted (or the fetch abandoned) — dropping
+    /// it releases every coalesced waiter.
+    Leader(FlightGuard<'a>),
+    /// Another thread was already fetching this key; its fetch has now
+    /// completed (successfully or not). Re-probe the cache.
+    Coalesced,
+}
+
+/// RAII token held by the leader of an in-flight fetch. On drop — normal
+/// return, error, or panic — the flight is deregistered and all coalesced
+/// waiters are released.
+pub struct FlightGuard<'a> {
+    cache: &'a HnsCache,
+    key: MetaKey,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache
+            .shard(&self.key)
+            .in_flight
+            .lock()
+            .remove(&self.key);
+        self.flight.complete();
+    }
+}
+
+/// The HNS cache: lock-striped, miss-coalescing, TTL-tagged.
+pub struct HnsCache {
+    mode: AtomicU8,
+    negative_ttl: AtomicU32,
+    shards: Vec<Shard>,
+    stats: AtomicStats,
 }
 
 impl HnsCache {
     /// Creates a cache in the given mode.
     pub fn new(mode: CacheMode) -> Self {
         HnsCache {
-            mode: Mutex::new(mode),
-            entries: Mutex::new(HashMap::new()),
-            stats: Mutex::new(HnsCacheStats::default()),
+            mode: AtomicU8::new(mode.to_u8()),
+            negative_ttl: AtomicU32::new(NEGATIVE_TTL),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            stats: AtomicStats::default(),
         }
     }
 
     /// Current mode.
     pub fn mode(&self) -> CacheMode {
-        *self.mode.lock()
+        CacheMode::from_u8(self.mode.load(Ordering::Relaxed))
     }
 
     /// Switches mode, clearing the cache (entries are stored per-form).
     pub fn set_mode(&self, mode: CacheMode) {
-        *self.mode.lock() = mode;
-        self.entries.lock().clear();
+        self.mode.store(mode.to_u8(), Ordering::Relaxed);
+        self.clear();
     }
 
-    /// Looks up `key`, charging the probe cost and, on a hit, the
-    /// form-dependent access cost of Table 3.2.
-    pub fn get(&self, world: &World, key: &MetaKey) -> Option<Value> {
-        let mode = self.mode();
-        if mode == CacheMode::Disabled {
-            return None;
+    /// TTL applied to negative entries, seconds.
+    pub fn negative_ttl(&self) -> u32 {
+        self.negative_ttl.load(Ordering::Relaxed)
+    }
+
+    /// Sets the TTL applied to subsequently inserted negative entries.
+    pub fn set_negative_ttl(&self, ttl_secs: u32) {
+        self.negative_ttl.store(ttl_secs, Ordering::Relaxed);
+    }
+
+    fn shard(&self, key: &MetaKey) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    fn remaining_secs(expires_at: SimTime, now: SimTime) -> u32 {
+        let us = expires_at.saturating_since(now).as_us();
+        us.div_ceil(1_000_000) as u32
+    }
+
+    /// Probes `key`, charging the probe cost and, on a hit, the
+    /// form-dependent access cost of Table 3.2. Demarshalled hits share
+    /// the stored `Arc` — no value clone.
+    pub fn lookup(&self, world: &World, key: &MetaKey) -> CacheLookup {
+        if self.mode() == CacheMode::Disabled {
+            return CacheLookup::Miss;
         }
         world.charge_ms(world.costs.cache_probe);
-        let mut entries = self.entries.lock();
+        let now = world.now();
+        let mut entries = self.shard(key).entries.lock();
         match entries.get(key) {
-            Some(entry) if entry.expires_at > world.now() => {
+            Some(entry) if entry.expires_at > now => {
+                let remaining_ttl_secs = Self::remaining_secs(entry.expires_at, now);
                 let value = match &entry.stored {
                     Stored::Bytes(bytes) => {
                         // The real demarshal, plus its calibrated cost.
                         world.charge_ms(world.costs.cache_hit(CacheForm::Marshalled, entry.rrs));
                         match wire::xdr::decode(bytes) {
-                            Ok(v) => v,
+                            Ok(v) => Arc::new(v),
                             Err(_) => {
                                 entries.remove(key);
-                                self.stats.lock().misses += 1;
-                                return None;
+                                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                                return CacheLookup::Miss;
                             }
                         }
                     }
                     Stored::Decoded(v) => {
                         world.charge_ms(world.costs.cache_hit(CacheForm::Demarshalled, entry.rrs));
-                        v.clone()
+                        Arc::clone(v)
+                    }
+                    Stored::Negative => {
+                        self.stats.negative_hits.fetch_add(1, Ordering::Relaxed);
+                        return CacheLookup::NegativeHit;
                     }
                 };
-                self.stats.lock().hits += 1;
-                world.trace(
-                    None,
-                    simnet::trace::TraceKind::Cache,
-                    format!("hit {key:?}"),
-                );
-                Some(value)
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                // Gate on the tracer so the hot hit path never pays for
+                // the Debug formatting when tracing is off.
+                if world.tracer.is_enabled() {
+                    world.trace(
+                        None,
+                        simnet::trace::TraceKind::Cache,
+                        format!("hit {key:?}"),
+                    );
+                }
+                CacheLookup::Hit {
+                    value,
+                    remaining_ttl_secs,
+                }
             }
             Some(_) => {
                 entries.remove(key);
-                self.stats.lock().misses += 1;
-                None
+                self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Miss
             }
             None => {
-                self.stats.lock().misses += 1;
-                None
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Miss
             }
         }
+    }
+
+    /// Looks up `key`, cloning the value out on a hit. Negative hits
+    /// report as `None`, like plain misses.
+    pub fn get(&self, world: &World, key: &MetaKey) -> Option<Value> {
+        match self.lookup(world, key) {
+            CacheLookup::Hit { value, .. } => Some((*value).clone()),
+            CacheLookup::NegativeHit | CacheLookup::Miss => None,
+        }
+    }
+
+    /// True if a live (positive) entry exists. Charges nothing and moves
+    /// no statistics — this is a structural peek, used to decide whether
+    /// a speculative batch fetch is worthwhile.
+    pub fn contains_live(&self, world: &World, key: &MetaKey) -> bool {
+        if self.mode() == CacheMode::Disabled {
+            return false;
+        }
+        let now = world.now();
+        let entries = self.shard(key).entries.lock();
+        matches!(
+            entries.get(key),
+            Some(entry) if entry.expires_at > now && !matches!(entry.stored, Stored::Negative)
+        )
+    }
+
+    /// Enters the singleflight gate for `key` after a miss.
+    ///
+    /// Returns [`FetchTicket::Leader`] if this caller should perform the
+    /// fetch (keep the guard alive until after the insert), or
+    /// [`FetchTicket::Coalesced`] once another thread's in-flight fetch
+    /// for the same key has finished — in which case re-probe the cache
+    /// and, if it is still a miss, call `begin_fetch` again.
+    pub fn begin_fetch(&self, key: &MetaKey) -> FetchTicket<'_> {
+        let shard = self.shard(key);
+        let existing = {
+            let mut flights = shard.in_flight.lock();
+            match flights.get(key) {
+                Some(flight) => Some(Arc::clone(flight)),
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    flights.insert(key.clone(), Arc::clone(&flight));
+                    drop(flights);
+                    return FetchTicket::Leader(FlightGuard {
+                        cache: self,
+                        key: key.clone(),
+                        flight,
+                    });
+                }
+            }
+        };
+        let flight = existing.expect("checked above");
+        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+        flight.wait();
+        FetchTicket::Coalesced
     }
 
     /// Inserts a value fetched from the meta store or an NSM.
@@ -175,11 +453,11 @@ impl HnsCache {
                 Ok(bytes) => Stored::Bytes(bytes),
                 Err(_) => return,
             },
-            CacheMode::Demarshalled => Stored::Decoded(value.clone()),
+            CacheMode::Demarshalled => Stored::Decoded(Arc::new(value.clone())),
             CacheMode::Disabled => unreachable!("checked above"),
         };
         let expires_at = world.now() + SimDuration::from_ms(u64::from(ttl_secs) * 1000);
-        self.entries.lock().insert(
+        self.shard(&key).entries.lock().insert(
             key,
             Entry {
                 stored,
@@ -187,11 +465,28 @@ impl HnsCache {
                 expires_at,
             },
         );
-        let mut stats = self.stats.lock();
-        stats.inserts += 1;
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         if preload {
-            stats.preloaded += 1;
+            self.stats.preloaded.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Remembers that `key` was authoritatively absent, for the negative
+    /// TTL. Not counted in [`HnsCacheStats::inserts`].
+    pub fn insert_negative(&self, world: &World, key: MetaKey) {
+        if self.mode() == CacheMode::Disabled {
+            return;
+        }
+        let ttl = u64::from(self.negative_ttl());
+        let expires_at = world.now() + SimDuration::from_ms(ttl * 1000);
+        self.shard(&key).entries.lock().insert(
+            key,
+            Entry {
+                stored: Stored::Negative,
+                rrs: 0,
+                expires_at,
+            },
+        );
     }
 
     /// Inserts an entry on behalf of the preload path.
@@ -208,27 +503,29 @@ impl HnsCache {
 
     /// Drops everything.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        for shard in &self.shards {
+            shard.entries.lock().clear();
+        }
     }
 
-    /// Number of entries.
+    /// Number of entries (negative entries included).
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.len() == 0
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> HnsCacheStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Resets statistics.
     pub fn reset_stats(&self) {
-        *self.stats.lock() = HnsCacheStats::default();
+        self.stats.reset();
     }
 }
 
@@ -304,7 +601,18 @@ mod tests {
         assert!(cache.is_empty());
         let stats = cache.stats();
         assert_eq!(stats.hits, 0);
+        assert_eq!(stats.expired, 1, "expiry is its own counter");
+        assert_eq!(stats.misses, 0, "an expiry is not a plain miss");
+    }
+
+    #[test]
+    fn cold_probe_counts_as_miss() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        assert!(cache.get(&world, &key()).is_none());
+        let stats = cache.stats();
         assert_eq!(stats.misses, 1);
+        assert_eq!(stats.expired, 0);
     }
 
     #[test]
@@ -355,5 +663,139 @@ mod tests {
         let _ = cache.get(&world, &key());
         cache.reset_stats();
         assert_eq!(cache.stats(), HnsCacheStats::default());
+    }
+
+    #[test]
+    fn lookup_reports_remaining_ttl() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        match cache.lookup(&world, &key()) {
+            CacheLookup::Hit {
+                remaining_ttl_secs, ..
+            } => assert_eq!(remaining_ttl_secs, 600, "fresh entry reports full TTL"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        world.charge_ms(250_000.0); // 250 s elapse.
+        match cache.lookup(&world, &key()) {
+            CacheLookup::Hit {
+                remaining_ttl_secs, ..
+            } => assert_eq!(remaining_ttl_secs, 350),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demarshalled_hits_share_the_stored_allocation() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        let a = match cache.lookup(&world, &key()) {
+            CacheLookup::Hit { value, .. } => value,
+            other => panic!("expected hit, got {other:?}"),
+        };
+        let b = match cache.lookup(&world, &key()) {
+            CacheLookup::Hit { value, .. } => value,
+            other => panic!("expected hit, got {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&a, &b), "hits must share one allocation");
+    }
+
+    #[test]
+    fn negative_entries_hit_until_their_ttl_lapses() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert_negative(&world, key());
+        assert!(matches!(
+            cache.lookup(&world, &key()),
+            CacheLookup::NegativeHit
+        ));
+        let stats = cache.stats();
+        assert_eq!(stats.negative_hits, 1);
+        assert_eq!(stats.inserts, 0, "negatives are not inserts");
+        world.charge_ms(f64::from(NEGATIVE_TTL) * 1000.0 + 500.0);
+        assert!(matches!(cache.lookup(&world, &key()), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn negative_ttl_is_configurable() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.set_negative_ttl(2);
+        cache.insert_negative(&world, key());
+        world.charge_ms(1_000.0);
+        assert!(matches!(
+            cache.lookup(&world, &key()),
+            CacheLookup::NegativeHit
+        ));
+        world.charge_ms(1_500.0);
+        assert!(matches!(cache.lookup(&world, &key()), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn negative_hit_charges_only_the_probe() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert_negative(&world, key());
+        let (_, took, _) = world.measure(|| cache.lookup(&world, &key()));
+        assert!(
+            (took.as_ms_f64() - 0.05).abs() < 0.01,
+            "negative hit took {took}"
+        );
+    }
+
+    #[test]
+    fn positive_insert_overwrites_negative() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert_negative(&world, key());
+        cache.insert(&world, key(), &value(), 1, 600);
+        assert_eq!(cache.get(&world, &key()), Some(value()));
+    }
+
+    #[test]
+    fn contains_live_is_structural() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        assert!(!cache.contains_live(&world, &key()));
+        cache.insert(&world, key(), &value(), 1, 1);
+        let before = cache.stats();
+        let (found, took, _) = world.measure(|| cache.contains_live(&world, &key()));
+        assert!(found);
+        assert_eq!(took.as_us(), 0, "peek must be cost-free");
+        world.charge_ms(1_500.0);
+        assert!(!cache.contains_live(&world, &key()), "expired is not live");
+        assert_eq!(cache.stats(), before, "no stats moved");
+        cache.insert_negative(&world, key());
+        assert!(
+            !cache.contains_live(&world, &key()),
+            "negative is not a live positive"
+        );
+    }
+
+    #[test]
+    fn singleflight_leader_then_coalesced() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        let guard = match cache.begin_fetch(&key()) {
+            FetchTicket::Leader(guard) => guard,
+            FetchTicket::Coalesced => panic!("first caller must lead"),
+        };
+        // Leader inserts and releases; a later caller gets a fresh flight.
+        cache.insert(&world, key(), &value(), 1, 600);
+        drop(guard);
+        assert!(matches!(cache.begin_fetch(&key()), FetchTicket::Leader(_)));
+    }
+
+    #[test]
+    fn abandoned_flight_allows_a_new_leader() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        match cache.begin_fetch(&key()) {
+            FetchTicket::Leader(guard) => drop(guard), // fetch failed; no insert
+            FetchTicket::Coalesced => panic!("first caller must lead"),
+        }
+        assert!(matches!(cache.begin_fetch(&key()), FetchTicket::Leader(_)));
+        let _ = world; // silence unused
     }
 }

@@ -12,17 +12,23 @@
 //! * [`query`] — open-ended query classes.
 //! * [`nsm`] — the NSM trait, its identical per-query-class client
 //!   interface, and NSM registration metadata.
-//! * [`meta`] — the meta store over the modified BIND.
+//! * [`meta`] — the meta store over the modified BIND, including the
+//!   batched `MQUERY` fetch path.
+//! * [`chaser`] — the server-side mapping chaser that piggybacks
+//!   speculative meta record sets on batched replies.
 //! * [`service`] — the HNS library routines and `FindNSM` (three mappings,
 //!   six cached remote lookups cold, recursion broken by linked
-//!   host-address NSMs), plus zone-transfer cache preload.
-//! * [`cache`] — the marshalled/demarshalled TTL cache of Table 3.2.
+//!   host-address NSMs; at most two remote round trips with batching
+//!   enabled), plus zone-transfer cache preload.
+//! * [`cache`] — the sharded, miss-coalescing marshalled/demarshalled TTL
+//!   cache of Table 3.2, with negative caching.
 //! * [`colocation`] — linked / remote / agent arrangements of Table 3.1.
 //! * [`analysis`] — equation (1) and the preload break-even model.
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod cache;
+pub mod chaser;
 pub mod colocation;
 pub mod error;
 pub mod meta;
@@ -31,10 +37,11 @@ pub mod nsm;
 pub mod query;
 pub mod service;
 
-pub use cache::{CacheMode, HnsCache, HnsCacheStats, MetaKey};
+pub use cache::{CacheLookup, CacheMode, FetchTicket, HnsCache, HnsCacheStats, MetaKey};
+pub use chaser::MetaChaser;
 pub use colocation::{AgentClient, AgentService, HnsClient, HnsHandle, HnsService};
 pub use error::{HnsError, HnsResult};
-pub use meta::{ContextInfo, Fetched, MetaStore, META_TTL};
+pub use meta::{ContextInfo, Fetched, MetaBatch, MetaStore, META_TTL};
 pub use name::{Context, HnsName, NameMapping};
 pub use nsm::{Nsm, NsmClient, NsmInfo, NsmService, SuiteTag, NSM_PROC_QUERY};
 pub use query::QueryClass;

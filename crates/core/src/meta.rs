@@ -15,6 +15,8 @@
 //! 3. NSM name → NSM binding information (six records — this is the
 //!    6-resource-record row of Table 3.2).
 
+use bindns::error::Rcode;
+use bindns::message::Question;
 use bindns::name::DomainName;
 use bindns::resolver::HrpcResolver;
 use bindns::rr::{RData, RType, ResourceRecord};
@@ -55,6 +57,71 @@ pub struct MetaStore {
     resolver: HrpcResolver,
     origin: DomainName,
     record_ttl: parking_lot::Mutex<u32>,
+}
+
+/// A batched meta fetch: the primary record set plus any speculative
+/// additional sets the meta server piggybacked on the same reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaBatch {
+    /// The answer to the primary question; `None` when the meta server
+    /// reported the name absent (NameError / NoData).
+    pub primary: Option<Fetched<Vec<String>>>,
+    /// Speculative additional sets, keyed by the meta name they live under.
+    pub additional: Vec<(DomainName, Fetched<Vec<String>>)>,
+}
+
+/// Builds a meta key under `origin` from sanitized label parts. This is the
+/// same derivation [`MetaStore`] uses client-side, exposed as a free
+/// function so the server-side chaser can recompute keys without a store.
+pub fn meta_key_at(origin: &DomainName, parts: &[&str]) -> HnsResult<DomainName> {
+    let mut name = parts.iter().map(|p| label(p)).collect::<Vec<_>>().join(".");
+    name.push('.');
+    name.push_str(&origin.to_string());
+    DomainName::parse(&name).map_err(|e| HnsError::BadMetaRecord(e.to_string()))
+}
+
+/// The meta key for a context record under `origin`.
+pub fn context_key_at(origin: &DomainName, context: &str) -> HnsResult<DomainName> {
+    meta_key_at(origin, &["ctx", context])
+}
+
+/// The meta key for an NSM-name record under `origin`.
+pub fn nsm_name_key_at(
+    origin: &DomainName,
+    name_service: &str,
+    query_class: &str,
+) -> HnsResult<DomainName> {
+    meta_key_at(origin, &["map", &format!("{name_service}--{query_class}")])
+}
+
+/// The meta key for an NSM-info record set under `origin`.
+pub fn nsm_info_key_at(origin: &DomainName, nsm_name: &str) -> HnsResult<DomainName> {
+    meta_key_at(origin, &["info", nsm_name])
+}
+
+/// Decodes a meta record set's UNSPEC payloads into a [`Fetched`] value.
+pub fn records_to_fetched(records: &[ResourceRecord]) -> HnsResult<Fetched<Vec<String>>> {
+    let ttl_secs = records.iter().map(|r| r.ttl).min().unwrap_or(META_TTL);
+    let rrs = records.len();
+    let mut payloads = Vec::with_capacity(rrs);
+    for r in records {
+        match &r.rdata {
+            RData::Opaque(bytes) => payloads.push(
+                String::from_utf8(bytes.clone())
+                    .map_err(|_| HnsError::BadMetaRecord("non-UTF-8 payload".into()))?,
+            ),
+            other => {
+                return Err(HnsError::BadMetaRecord(format!(
+                    "expected UNSPEC, found {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(Fetched {
+        value: payloads,
+        rrs,
+        ttl_secs,
+    })
 }
 
 /// Sanitizes an arbitrary identifier into a safe domain label.
@@ -103,26 +170,19 @@ impl MetaStore {
         *self.record_ttl.lock()
     }
 
-    fn key(&self, parts: &[&str]) -> HnsResult<DomainName> {
-        let mut name = parts.iter().map(|p| label(p)).collect::<Vec<_>>().join(".");
-        name.push('.');
-        name.push_str(&self.origin.to_string());
-        DomainName::parse(&name).map_err(|e| HnsError::BadMetaRecord(e.to_string()))
-    }
-
     /// The meta key for a context record.
     pub fn context_key(&self, context: &Context) -> HnsResult<DomainName> {
-        self.key(&["ctx", context.as_str()])
+        context_key_at(&self.origin, context.as_str())
     }
 
     /// The meta key for an NSM-name record.
     pub fn nsm_name_key(&self, name_service: &str, qc: &QueryClass) -> HnsResult<DomainName> {
-        self.key(&["map", &format!("{}--{}", name_service, qc.as_str())])
+        nsm_name_key_at(&self.origin, name_service, qc.as_str())
     }
 
     /// The meta key for an NSM-info record set.
     pub fn nsm_info_key(&self, nsm_name: &str) -> HnsResult<DomainName> {
-        self.key(&["info", nsm_name])
+        nsm_info_key_at(&self.origin, nsm_name)
     }
 
     fn write(&self, name: DomainName, payloads: Vec<String>) -> HnsResult<()> {
@@ -150,26 +210,47 @@ impl MetaStore {
             .resolver
             .query(name, RType::Unspec)
             .map_err(HnsError::Rpc)?;
-        let ttl_secs = records.iter().map(|r| r.ttl).min().unwrap_or(META_TTL);
-        let rrs = records.len();
-        let mut payloads = Vec::with_capacity(rrs);
-        for r in &records {
-            match &r.rdata {
-                RData::Opaque(bytes) => payloads.push(
-                    String::from_utf8(bytes.clone())
-                        .map_err(|_| HnsError::BadMetaRecord("non-UTF-8 payload".into()))?,
-                ),
-                other => {
-                    return Err(HnsError::BadMetaRecord(format!(
-                        "expected UNSPEC, found {other:?}"
-                    )))
-                }
+        records_to_fetched(&records)
+    }
+
+    /// Fetches `primary` plus whatever additional sets the meta server's
+    /// chaser speculatively attaches for the given query-class `hints`,
+    /// all in one round trip.
+    ///
+    /// A NameError/NoData on the primary question comes back as
+    /// `primary: None` (the caller turns it into a negative cache entry);
+    /// unattachable hints simply yield fewer additional sets — the caller
+    /// falls back to sequential fetches for anything missing.
+    pub fn fetch_batch(&self, primary: &DomainName, hints: &[String]) -> HnsResult<MetaBatch> {
+        let questions = [Question::new(primary.clone(), RType::Unspec)];
+        let multi = self
+            .resolver
+            .mquery(&questions, hints)
+            .map_err(HnsError::Rpc)?;
+        let answer = multi
+            .answers
+            .first()
+            .ok_or_else(|| HnsError::BadMetaRecord("mquery reply missing answer".into()))?;
+        let primary_set = match answer.rcode {
+            Rcode::Ok => Some(records_to_fetched(&answer.records)?),
+            Rcode::NameError | Rcode::NoData => None,
+            other => {
+                return Err(HnsError::Rpc(RpcError::Service(format!(
+                    "mquery rcode {other:?}"
+                ))))
             }
+        };
+        let mut additional = Vec::with_capacity(multi.additional.len());
+        for set in &multi.additional {
+            if set.rcode != Rcode::Ok || set.records.is_empty() {
+                continue;
+            }
+            let owner = set.records[0].name.clone();
+            additional.push((owner, records_to_fetched(&set.records)?));
         }
-        Ok(Fetched {
-            value: payloads,
-            rrs,
-            ttl_secs,
+        Ok(MetaBatch {
+            primary: primary_set,
+            additional,
         })
     }
 
@@ -429,6 +510,51 @@ mod tests {
         let ms = took.as_ms_f64();
         assert!((ms - 65.7).abs() < 2.0, "meta lookup took {ms} ms");
         assert_eq!(delta.remote_calls, 1);
+    }
+
+    #[test]
+    fn fetch_batch_returns_primary_in_one_round_trip() {
+        let (world, meta) = setup();
+        meta.register_context(&ctx("c"), "BIND", &NameMapping::Identity)
+            .expect("register");
+        let key = meta.context_key(&ctx("c")).expect("key");
+        let (result, _, delta) =
+            world.measure(|| meta.fetch_batch(&key, &["hrpcbinding".to_string()]));
+        let batch = result.expect("batch");
+        assert_eq!(delta.remote_calls, 1);
+        let primary = batch.primary.expect("primary present");
+        assert_eq!(primary.rrs, 1);
+        assert!(primary.value[0].starts_with("ns=BIND"));
+        // No chaser installed on the bare test server: nothing piggybacked.
+        assert!(batch.additional.is_empty());
+    }
+
+    #[test]
+    fn fetch_batch_missing_primary_is_none_not_error() {
+        let (_world, meta) = setup();
+        let key = meta.context_key(&ctx("ghost")).expect("key");
+        let batch = meta.fetch_batch(&key, &[]).expect("batch");
+        assert!(batch.primary.is_none());
+        assert!(batch.additional.is_empty());
+    }
+
+    #[test]
+    fn key_helpers_match_store_keys() {
+        let (_world, meta) = setup();
+        let origin = meta.origin().clone();
+        assert_eq!(
+            meta.context_key(&ctx("bind-uw")).expect("k"),
+            context_key_at(&origin, "bind-uw").expect("k")
+        );
+        assert_eq!(
+            meta.nsm_name_key("BIND", &QueryClass::hrpc_binding())
+                .expect("k"),
+            nsm_name_key_at(&origin, "BIND", "hrpcbinding").expect("k")
+        );
+        assert_eq!(
+            meta.nsm_info_key("nsm-hrpcbinding-bind").expect("k"),
+            nsm_info_key_at(&origin, "nsm-hrpcbinding-bind").expect("k")
+        );
     }
 
     #[test]

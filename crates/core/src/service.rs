@@ -17,6 +17,7 @@
 //! remote data mappings; each is individually cached.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -30,7 +31,7 @@ use hrpc::net::RpcNet;
 use hrpc::{HrpcBinding, RpcError};
 use wire::Value;
 
-use crate::cache::{CacheMode, HnsCache, HnsCacheStats, MetaKey};
+use crate::cache::{CacheLookup, CacheMode, FetchTicket, HnsCache, HnsCacheStats, MetaKey};
 use crate::error::{HnsError, HnsResult};
 use crate::meta::{ContextInfo, Fetched, MetaStore};
 use crate::name::{Context, HnsName, NameMapping};
@@ -49,7 +50,14 @@ pub struct Hns {
     meta_binding: HrpcBinding,
     cache: HnsCache,
     linked_nsms: RwLock<HashMap<String, Arc<dyn Nsm>>>,
+    batching: AtomicBool,
 }
+
+/// Record sets piggybacked by the meta server on a batched fetch, keyed by
+/// meta name. Consulted before the cache so the batch also serves
+/// [`CacheMode::Disabled`] runs; its demarshalling cost was already charged
+/// when the `MQUERY` reply was decoded.
+type BatchOverlay = HashMap<DomainName, Fetched<Vec<String>>>;
 
 /// Result of a cache preload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +88,20 @@ impl Hns {
             meta_binding,
             cache: HnsCache::new(cache_mode),
             linked_nsms: RwLock::new(HashMap::new()),
+            batching: AtomicBool::new(false),
         }
+    }
+
+    /// Enables or disables the batched meta pipeline. Off by default: the
+    /// sequential six-round-trip pipeline is the paper's measured shape;
+    /// batching is the ablation on top of it.
+    pub fn set_batching(&self, enabled: bool) {
+        self.batching.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the batched meta pipeline is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching.load(Ordering::Relaxed)
     }
 
     /// The host this instance runs on.
@@ -159,40 +180,84 @@ impl Hns {
         self.cache.mode()
     }
 
-    /// One cached meta fetch: payload strings at `key`.
-    fn cached_fetch(&self, key: &DomainName) -> HnsResult<Fetched<Vec<String>>> {
-        self.world().charge_ms(self.world().costs.hns_bookkeeping);
-        let cache_key = MetaKey::Meta(key.clone());
-        if let Some(v) = self.cache.get(self.world(), &cache_key) {
-            let payloads: Vec<String> = v
-                .as_list()
-                .map_err(HnsError::from)?
-                .iter()
-                .map(|s| s.as_str().map(str::to_string).map_err(HnsError::from))
-                .collect::<HnsResult<_>>()?;
-            let rrs = payloads.len();
-            return Ok(Fetched {
-                value: payloads,
-                rrs,
-                ttl_secs: 0,
-            });
-        }
-        let fetched = self.meta.fetch(key)?;
-        let value = Value::List(fetched.value.iter().map(Value::str).collect());
-        self.cache.insert(
-            self.world(),
-            cache_key,
-            &value,
-            fetched.rrs,
-            fetched.ttl_secs,
-        );
-        Ok(fetched)
+    /// Decodes a cached list-of-strings value back into payload strings.
+    fn value_to_payloads(v: &Value) -> HnsResult<Vec<String>> {
+        v.as_list()
+            .map_err(HnsError::from)?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string).map_err(HnsError::from))
+            .collect()
     }
 
-    /// Mapping 1 (or 4): context → name service, through the cache.
-    pub fn context_info(&self, context: &Context) -> HnsResult<ContextInfo> {
+    /// One cached meta fetch: payload strings at `key`.
+    ///
+    /// The overlay (record sets piggybacked by the current batched fetch)
+    /// is consulted first, then the cache; a miss enters the singleflight
+    /// gate, so of several threads missing on the same key only one
+    /// performs the remote fetch. A `NotFound` from the meta store is
+    /// remembered as a negative entry.
+    fn cached_fetch_with(
+        &self,
+        key: &DomainName,
+        overlay: Option<&BatchOverlay>,
+    ) -> HnsResult<Fetched<Vec<String>>> {
+        self.world().charge_ms(self.world().costs.hns_bookkeeping);
+        if let Some(fetched) = overlay.and_then(|o| o.get(key)) {
+            return Ok(fetched.clone());
+        }
+        let cache_key = MetaKey::Meta(key.clone());
+        loop {
+            match self.cache.lookup(self.world(), &cache_key) {
+                CacheLookup::Hit {
+                    value,
+                    remaining_ttl_secs,
+                } => {
+                    let payloads = Self::value_to_payloads(&value)?;
+                    let rrs = payloads.len();
+                    return Ok(Fetched {
+                        value: payloads,
+                        rrs,
+                        ttl_secs: remaining_ttl_secs,
+                    });
+                }
+                CacheLookup::NegativeHit => {
+                    return Err(HnsError::Rpc(RpcError::NotFound(key.to_string())));
+                }
+                CacheLookup::Miss => {}
+            }
+            match self.cache.begin_fetch(&cache_key) {
+                FetchTicket::Leader(_guard) => {
+                    let fetched = match self.meta.fetch(key) {
+                        Ok(fetched) => fetched,
+                        Err(HnsError::Rpc(RpcError::NotFound(n))) => {
+                            self.cache.insert_negative(self.world(), cache_key);
+                            return Err(HnsError::Rpc(RpcError::NotFound(n)));
+                        }
+                        Err(other) => return Err(other),
+                    };
+                    let value = Value::List(fetched.value.iter().map(Value::str).collect());
+                    self.cache.insert(
+                        self.world(),
+                        cache_key,
+                        &value,
+                        fetched.rrs,
+                        fetched.ttl_secs,
+                    );
+                    return Ok(fetched);
+                }
+                // Another thread just finished fetching this key; re-probe.
+                FetchTicket::Coalesced => continue,
+            }
+        }
+    }
+
+    fn context_info_with(
+        &self,
+        context: &Context,
+        overlay: Option<&BatchOverlay>,
+    ) -> HnsResult<ContextInfo> {
         let key = self.meta.context_key(context)?;
-        let fetched = self.cached_fetch(&key).map_err(|e| match e {
+        let fetched = self.cached_fetch_with(&key, overlay).map_err(|e| match e {
             HnsError::Rpc(RpcError::NotFound(_)) => {
                 HnsError::NoSuchContext(context.as_str().to_string())
             }
@@ -201,10 +266,19 @@ impl Hns {
         MetaStore::parse_context(&fetched.value)
     }
 
-    /// Mapping 2 (or 5): (name service, query class) → NSM name.
-    pub fn nsm_name(&self, name_service: &str, qc: &QueryClass) -> HnsResult<String> {
+    /// Mapping 1 (or 4): context → name service, through the cache.
+    pub fn context_info(&self, context: &Context) -> HnsResult<ContextInfo> {
+        self.context_info_with(context, None)
+    }
+
+    fn nsm_name_with(
+        &self,
+        name_service: &str,
+        qc: &QueryClass,
+        overlay: Option<&BatchOverlay>,
+    ) -> HnsResult<String> {
         let key = self.meta.nsm_name_key(name_service, qc)?;
-        let fetched = self.cached_fetch(&key).map_err(|e| match e {
+        let fetched = self.cached_fetch_with(&key, overlay).map_err(|e| match e {
             HnsError::Rpc(RpcError::NotFound(_)) => HnsError::NoSuchNsm {
                 name_service: name_service.to_string(),
                 query_class: qc.as_str().to_string(),
@@ -214,11 +288,20 @@ impl Hns {
         MetaStore::parse_nsm_name(&fetched.value)
     }
 
+    /// Mapping 2 (or 5): (name service, query class) → NSM name.
+    pub fn nsm_name(&self, name_service: &str, qc: &QueryClass) -> HnsResult<String> {
+        self.nsm_name_with(name_service, qc, None)
+    }
+
+    fn nsm_info_with(&self, nsm_name: &str, overlay: Option<&BatchOverlay>) -> HnsResult<NsmInfo> {
+        let key = self.meta.nsm_info_key(nsm_name)?;
+        let fetched = self.cached_fetch_with(&key, overlay)?;
+        NsmInfo::from_records(nsm_name, &fetched.value)
+    }
+
     /// Mapping 3 (first half): NSM name → binding information.
     pub fn nsm_info(&self, nsm_name: &str) -> HnsResult<NsmInfo> {
-        let key = self.meta.nsm_info_key(nsm_name)?;
-        let fetched = self.cached_fetch(&key)?;
-        NsmInfo::from_records(nsm_name, &fetched.value)
+        self.nsm_info_with(nsm_name, None)
     }
 
     /// Mapping 6: NSM host name → address, via the linked host-address NSM
@@ -232,23 +315,79 @@ impl Hns {
     ) -> HnsResult<HostId> {
         self.world().charge_ms(self.world().costs.hns_bookkeeping);
         let cache_key = MetaKey::HostAddr(host_ns.to_string(), host_name.to_string());
-        if let Some(v) = self.cache.get(self.world(), &cache_key) {
-            return Ok(HostId(v.u32_field("host").map_err(HnsError::from)?));
+        loop {
+            match self.cache.lookup(self.world(), &cache_key) {
+                CacheLookup::Hit { value, .. } => {
+                    return Ok(HostId(value.u32_field("host").map_err(HnsError::from)?));
+                }
+                CacheLookup::NegativeHit | CacheLookup::Miss => {}
+            }
+            match self.cache.begin_fetch(&cache_key) {
+                FetchTicket::Leader(_guard) => {
+                    let linked = self
+                        .linked_nsms
+                        .read()
+                        .get(ha_nsm_name)
+                        .cloned()
+                        .ok_or_else(|| HnsError::NoLinkedHostAddrNsm(host_ns.to_string()))?;
+                    let hns_name = HnsName::new(host_context.clone(), host_name)?;
+                    let reply = linked
+                        .handle(&hns_name, &Value::Void)
+                        .map_err(HnsError::Rpc)?;
+                    let host = HostId(reply.u32_field("host").map_err(HnsError::from)?);
+                    let ttl = reply.u32_field("ttl").unwrap_or(crate::meta::META_TTL);
+                    self.cache.insert(self.world(), cache_key, &reply, 1, ttl);
+                    return Ok(host);
+                }
+                FetchTicket::Coalesced => continue,
+            }
         }
-        let linked = self
-            .linked_nsms
-            .read()
-            .get(ha_nsm_name)
-            .cloned()
-            .ok_or_else(|| HnsError::NoLinkedHostAddrNsm(host_ns.to_string()))?;
-        let hns_name = HnsName::new(host_context.clone(), host_name)?;
-        let reply = linked
-            .handle(&hns_name, &Value::Void)
-            .map_err(HnsError::Rpc)?;
-        let host = HostId(reply.u32_field("host").map_err(HnsError::from)?);
-        let ttl = reply.u32_field("ttl").unwrap_or(crate::meta::META_TTL);
-        self.cache.insert(self.world(), cache_key, &reply, 1, ttl);
-        Ok(host)
+    }
+
+    /// Speculatively fetches the whole meta-mapping chain for (`context`,
+    /// `qc`) in one `MQUERY`, seeding the cache and returning the overlay
+    /// for this `FindNSM`'s own mapping walk.
+    ///
+    /// Skipped (returning an empty overlay) when the context record is
+    /// already live in the cache — a warm walk needs no round trips at
+    /// all, so a batch would only add one.
+    fn prefetch_meta_batch(&self, context: &Context, qc: &QueryClass) -> HnsResult<BatchOverlay> {
+        let ctx_key = self.meta.context_key(context)?;
+        let mut overlay = BatchOverlay::new();
+        if self
+            .cache
+            .contains_live(self.world(), &MetaKey::Meta(ctx_key.clone()))
+        {
+            return Ok(overlay);
+        }
+        self.world().charge_ms(self.world().costs.hns_bookkeeping);
+        let batch = self
+            .meta
+            .fetch_batch(&ctx_key, &[qc.as_str().to_string()])?;
+        match batch.primary {
+            Some(fetched) => self.stash(&mut overlay, ctx_key, fetched),
+            None => {
+                self.cache
+                    .insert_negative(self.world(), MetaKey::Meta(ctx_key));
+            }
+        }
+        for (owner, fetched) in batch.additional {
+            self.stash(&mut overlay, owner, fetched);
+        }
+        Ok(overlay)
+    }
+
+    /// Seeds one batched record set into both the cache and the overlay.
+    fn stash(&self, overlay: &mut BatchOverlay, key: DomainName, fetched: Fetched<Vec<String>>) {
+        let value = Value::List(fetched.value.iter().map(Value::str).collect());
+        self.cache.insert(
+            self.world(),
+            MetaKey::Meta(key.clone()),
+            &value,
+            fetched.rrs,
+            fetched.ttl_secs,
+        );
+        overlay.insert(key, fetched);
     }
 
     /// The primary HNS function: maps a context and query class to an HRPC
@@ -259,16 +398,29 @@ impl Hns {
             TraceKind::Hns,
             format!("FindNSM(query class {qc}, name {name})"),
         );
+        // With batching enabled, one MQUERY fetches mapping 1 and lets the
+        // meta server's chaser piggyback mappings 2-5; the walk below then
+        // runs against the overlay instead of making per-mapping calls.
+        let overlay = if self.batching() {
+            Some(self.prefetch_meta_batch(&name.context, qc)?)
+        } else {
+            None
+        };
+        let overlay = overlay.as_ref();
         // Mapping 1: Context -> Name Service Name.
-        let ctx_info = self.context_info(&name.context)?;
+        let ctx_info = self.context_info_with(&name.context, overlay)?;
         // Mapping 2: Name Service Name, Query Class -> NSM Name.
-        let nsm_name = self.nsm_name(&ctx_info.name_service, qc)?;
+        let nsm_name = self.nsm_name_with(&ctx_info.name_service, qc, overlay)?;
         // Mapping 3: NSM Name -> HRPC Binding for the NSM. The stored info
         // names the NSM's host; translating that is itself an HNS naming
         // operation (mappings 4-6).
-        let info = self.nsm_info(&nsm_name)?;
-        let host_ctx_info = self.context_info(&info.host_context)?;
-        let ha_nsm = self.nsm_name(&host_ctx_info.name_service, &QueryClass::host_address())?;
+        let info = self.nsm_info_with(&nsm_name, overlay)?;
+        let host_ctx_info = self.context_info_with(&info.host_context, overlay)?;
+        let ha_nsm = self.nsm_name_with(
+            &host_ctx_info.name_service,
+            &QueryClass::host_address(),
+            overlay,
+        )?;
         let host = self.host_address(
             &host_ctx_info.name_service,
             &ha_nsm,
@@ -304,20 +456,26 @@ impl Hns {
             self.meta.origin(),
         )
         .map_err(HnsError::Rpc)?;
-        // Group records by owner name, preserving record order.
+        // Group records by owner name, preserving owner and record order.
+        // An index map keeps the grouping linear in the zone size.
         let mut grouped: Vec<(DomainName, Vec<String>, u32)> = Vec::new();
+        let mut index: HashMap<DomainName, usize> = HashMap::new();
         for rr in &xfer.records {
             let payload = match &rr.rdata {
                 bindns::rr::RData::Opaque(bytes) => String::from_utf8(bytes.clone())
                     .map_err(|_| HnsError::BadMetaRecord("non-UTF-8 payload".into()))?,
                 _ => continue, // Only UNSPEC meta records preload.
             };
-            match grouped.iter_mut().find(|(n, _, _)| *n == rr.name) {
-                Some((_, payloads, ttl)) => {
+            match index.get(&rr.name) {
+                Some(&i) => {
+                    let (_, payloads, ttl) = &mut grouped[i];
                     payloads.push(payload);
                     *ttl = (*ttl).min(rr.ttl);
                 }
-                None => grouped.push((rr.name.clone(), vec![payload], rr.ttl)),
+                None => {
+                    index.insert(rr.name.clone(), grouped.len());
+                    grouped.push((rr.name.clone(), vec![payload], rr.ttl));
+                }
             }
         }
         let entries = grouped.len();

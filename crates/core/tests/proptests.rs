@@ -127,6 +127,49 @@ proptest! {
     }
 
     #[test]
+    fn sharded_cache_matches_single_map_model(
+        ops in proptest::collection::vec(
+            (0u8..3, 0usize..6, any::<u32>(), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        // The lock-striped cache must be observationally identical to the
+        // seed's single-map cache: same hit/miss answers, same eviction on
+        // expired probes, same entry count. TTLs are either 1 s (expired
+        // by any 2 s advance, with a margin far exceeding the sub-ms cost
+        // charges lookups add) or 10_000 s (never expires in-sequence).
+        use simnet::time::SimDuration;
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        let key_of = |k: usize| MetaKey::HostAddr("NS".into(), format!("host-{k}"));
+        let mut model: std::collections::HashMap<usize, (u32, simnet::time::SimTime)> =
+            std::collections::HashMap::new();
+        for (op, k, v, long_ttl) in ops {
+            match op {
+                0 => {
+                    let ttl_secs = if long_ttl { 10_000 } else { 1 };
+                    let expires = world.now() + SimDuration::from_ms(u64::from(ttl_secs) * 1000);
+                    cache.insert(&world, key_of(k), &Value::U32(v), 1, ttl_secs);
+                    model.insert(k, (v, expires));
+                }
+                1 => {
+                    let expected = match model.get(&k) {
+                        Some((v, exp)) if *exp > world.now() => Some(Value::U32(*v)),
+                        Some(_) => {
+                            model.remove(&k); // probing an expired entry evicts
+                            None
+                        }
+                        None => None,
+                    };
+                    prop_assert_eq!(cache.get(&world, &key_of(k)), expected);
+                }
+                _ => world.charge_ms(2_000.0),
+            }
+        }
+        prop_assert_eq!(cache.len(), model.len());
+    }
+
+    #[test]
     fn mapping_decode_never_panics(s in "[ -~]{0,40}") {
         let _ = NameMapping::decode(&s);
     }

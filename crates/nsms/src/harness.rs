@@ -191,6 +191,11 @@ impl Testbed {
             hosts.meta,
             single_zone_server("meta-bind", meta_zone, true),
         );
+        // Server-side mapping chaser: lets batched (MQUERY) FindNSM fetches
+        // pick up mappings 2-5 as piggybacked additional record sets.
+        meta_bind
+            .server
+            .set_additional_provider(hns_core::MetaChaser::new(meta_origin.clone()));
 
         // Clearinghouse: the cs:uw domain.
         let ch_server = ChServer::new("clearinghouse", ChDb::new(vec![("cs".into(), "uw".into())]));

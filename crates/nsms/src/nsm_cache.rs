@@ -4,14 +4,25 @@
 //! lookups." An NSM caches completed results (e.g. a finished HRPC binding)
 //! keyed by the query it answered, with the same marshalled/demarshalled
 //! form distinction as the HNS cache.
+//!
+//! Like [`hns_core::cache::HnsCache`], entries are lock-striped across
+//! independent shards and demarshalled entries are stored behind an `Arc`,
+//! so concurrent NSM queries on different keys never serialize on one
+//! global mutex.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::time::{SimDuration, SimTime};
 use simnet::world::World;
 use simnet::CacheForm;
 use wire::Value;
+
+/// Number of lock-striped shards.
+const SHARDS: usize = 8;
 
 /// Storage form for NSM cache entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +38,7 @@ pub enum NsmCacheForm {
 #[derive(Debug)]
 enum Stored {
     Bytes(Vec<u8>),
-    Decoded(Value),
+    Decoded(Arc<Value>),
 }
 
 #[derive(Debug)]
@@ -40,7 +51,7 @@ struct Entry {
 /// A cache of completed NSM results.
 pub struct NsmCache {
     form: NsmCacheForm,
-    entries: Mutex<HashMap<String, Entry>>,
+    shards: Vec<Mutex<HashMap<String, Entry>>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -50,7 +61,7 @@ impl NsmCache {
     pub fn new(form: NsmCacheForm) -> Self {
         NsmCache {
             form,
-            entries: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
         }
@@ -61,13 +72,19 @@ impl NsmCache {
         self.form
     }
 
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
     /// Looks up a completed result, charging probe + form-dependent cost.
     pub fn get(&self, world: &World, key: &str) -> Option<Value> {
         if self.form == NsmCacheForm::Disabled {
             return None;
         }
         world.charge_ms(world.costs.cache_probe);
-        let mut entries = self.entries.lock();
+        let mut entries = self.shard(key).lock();
         match entries.get(key) {
             Some(entry) if entry.expires_at > world.now() => {
                 let value = match &entry.stored {
@@ -77,7 +94,10 @@ impl NsmCache {
                     }
                     Stored::Decoded(v) => {
                         world.charge_ms(world.costs.cache_hit(CacheForm::Demarshalled, entry.rrs));
-                        v.clone()
+                        // `Nsm::handle` replies with an owned Value, so the
+                        // clone happens at this boundary; the shard lock is
+                        // never held across a demarshal of wire bytes.
+                        (**v).clone()
                     }
                 };
                 self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -107,11 +127,11 @@ impl NsmCache {
                 Ok(bytes) => Stored::Bytes(bytes),
                 Err(_) => return,
             },
-            NsmCacheForm::Demarshalled => Stored::Decoded(value.clone()),
+            NsmCacheForm::Demarshalled => Stored::Decoded(Arc::new(value.clone())),
             NsmCacheForm::Disabled => unreachable!("checked above"),
         };
         let expires_at = world.now() + SimDuration::from_ms(u64::from(ttl_secs) * 1000);
-        self.entries.lock().insert(
+        self.shard(&key).lock().insert(
             key,
             Entry {
                 stored,
@@ -131,7 +151,9 @@ impl NsmCache {
 
     /// Drops all entries.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 }
 

@@ -232,6 +232,82 @@ fn unknown_context_and_missing_nsm_report_specific_errors() {
 }
 
 #[test]
+fn batched_cold_findnsm_makes_at_most_two_remote_calls() {
+    // The batched meta pipeline: one MQUERY carries mapping 1 and the
+    // chaser piggybacks mappings 2-5, leaving only the public-BIND host
+    // lookup as a second round trip.
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Marshalled);
+    hns.set_batching(true);
+    let (result, _, delta) = tb
+        .world
+        .measure(|| hns.find_nsm(&QueryClass::hrpc_binding(), &fiji_name(&tb)));
+    assert!(result.is_ok(), "{result:?}");
+    assert!(
+        delta.remote_calls <= 2,
+        "batched cold FindNSM made {} remote calls, want <= 2",
+        delta.remote_calls
+    );
+    // Warm path is unchanged: everything the batch seeded now hits.
+    let (result, _, delta) = tb
+        .world
+        .measure(|| hns.find_nsm(&QueryClass::hrpc_binding(), &fiji_name(&tb)));
+    assert!(result.is_ok());
+    assert_eq!(delta.remote_calls, 0, "warm batched FindNSM must be cached");
+}
+
+#[test]
+fn batched_findnsm_returns_the_same_binding_faster() {
+    let sequential = Testbed::build();
+    sequential.deploy_binding_nsms(sequential.hosts.nsm, NsmCacheForm::Marshalled);
+    let seq_hns = sequential.make_hns(sequential.hosts.client, CacheMode::Marshalled);
+    let (seq_binding, seq_took, _) = sequential
+        .world
+        .measure(|| seq_hns.find_nsm(&QueryClass::hrpc_binding(), &fiji_name(&sequential)));
+    let seq_binding = seq_binding.expect("sequential");
+
+    let batched = Testbed::build();
+    batched.deploy_binding_nsms(batched.hosts.nsm, NsmCacheForm::Marshalled);
+    let bat_hns = batched.make_hns(batched.hosts.client, CacheMode::Marshalled);
+    bat_hns.set_batching(true);
+    let (bat_binding, bat_took, _) = batched
+        .world
+        .measure(|| bat_hns.find_nsm(&QueryClass::hrpc_binding(), &fiji_name(&batched)));
+    let bat_binding = bat_binding.expect("batched");
+
+    assert_eq!(bat_binding.host, seq_binding.host);
+    assert_eq!(bat_binding.program, seq_binding.program);
+    assert_eq!(bat_binding.port, seq_binding.port);
+    // Four round trips elided, each saving a Raw-TCP RTT (22 ms) plus the
+    // per-call resolver overhead (15.5 ms); marshalling work is unchanged.
+    let saving = seq_took.as_ms_f64() - bat_took.as_ms_f64();
+    assert!(
+        (saving - 150.0).abs() < 15.0,
+        "batching saved {saving} ms, expected ~150"
+    );
+}
+
+#[test]
+fn batching_serves_even_a_disabled_cache_via_the_overlay() {
+    // With caching off the batch cannot seed anything persistent, but the
+    // overlay still carries the piggybacked sets through one FindNSM.
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Marshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Disabled);
+    hns.set_batching(true);
+    let (result, _, delta) = tb
+        .world
+        .measure(|| hns.find_nsm(&QueryClass::hrpc_binding(), &fiji_name(&tb)));
+    assert!(result.is_ok(), "{result:?}");
+    assert!(
+        delta.remote_calls <= 2,
+        "uncached batched FindNSM made {} remote calls, want <= 2",
+        delta.remote_calls
+    );
+}
+
+#[test]
 fn dynamic_updates_flow_into_findnsm_without_client_changes() {
     // Direct access: an application registers a brand-new query class at
     // runtime; existing HNS clients can use it immediately.

@@ -3,9 +3,10 @@
 //! time is a global accumulator, so timings are not meaningful here —
 //! only correctness and absence of deadlocks/poisoning.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 
-use hns_repro::hns_core::cache::CacheMode;
+use hns_repro::hns_core::cache::{CacheLookup, CacheMode, FetchTicket, HnsCache, MetaKey};
 use hns_repro::hns_core::name::HnsName;
 use hns_repro::hns_core::query::QueryClass;
 use hns_repro::nsms::harness::{Testbed, DESIRED_SERVICE_PROGRAM};
@@ -39,6 +40,139 @@ fn concurrent_findnsm_on_shared_instance() {
     }
     let stats = hns.cache_stats();
     assert!(stats.hits + stats.misses >= 8 * 50, "all lookups accounted");
+}
+
+#[test]
+fn concurrent_misses_coalesce_to_one_fetch() {
+    // K threads miss on the same key at once; the singleflight gate must
+    // elect exactly one leader to perform the (simulated) fetch, with the
+    // rest waiting and then hitting the inserted entry.
+    const THREADS: usize = 8;
+    let world = hns_repro::simnet::World::paper();
+    let cache = Arc::new(HnsCache::new(CacheMode::Demarshalled));
+    let key = MetaKey::HostAddr("BIND".into(), "fiji".into());
+    let fetches = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let world = Arc::clone(&world);
+        let cache = Arc::clone(&cache);
+        let key = key.clone();
+        let fetches = Arc::clone(&fetches);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            loop {
+                match cache.lookup(&world, &key) {
+                    CacheLookup::Hit { value, .. } => return (*value).clone(),
+                    CacheLookup::NegativeHit => panic!("no negatives here"),
+                    CacheLookup::Miss => {}
+                }
+                match cache.begin_fetch(&key) {
+                    FetchTicket::Leader(_guard) => {
+                        fetches.fetch_add(1, Ordering::SeqCst);
+                        // Simulate remote latency so followers really queue.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        cache.insert(&world, key.clone(), &Value::U32(7), 1, 600);
+                        return Value::U32(7);
+                    }
+                    FetchTicket::Coalesced => continue,
+                }
+            }
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().expect("no panics"), Value::U32(7));
+    }
+    assert_eq!(
+        fetches.load(Ordering::SeqCst),
+        1,
+        "exactly one thread may fetch"
+    );
+    let stats = cache.stats();
+    assert!(
+        stats.coalesced >= THREADS as u64 - 1,
+        "followers must coalesce, got {}",
+        stats.coalesced
+    );
+    assert_eq!(stats.hits, THREADS as u64 - 1);
+}
+
+#[test]
+fn concurrent_batched_findnsm_on_shared_instance() {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Demarshalled);
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    hns.set_batching(true);
+    let name = HnsName::new(tb.ctx_bind(), "fiji.cs.washington.edu").expect("name");
+
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let hns = Arc::clone(&hns);
+        let name = name.clone();
+        let expect_host = tb.hosts.nsm;
+        handles.push(std::thread::spawn(move || {
+            let qc = QueryClass::hrpc_binding();
+            for i in 0..50 {
+                let binding = hns
+                    .find_nsm(&qc, &name)
+                    .unwrap_or_else(|e| panic!("thread {t} iter {i}: {e}"));
+                assert_eq!(binding.host, expect_host);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no panics");
+    }
+}
+
+#[test]
+fn concurrent_hits_and_misses_keep_stats_consistent() {
+    // Disjoint key sets per thread: every thread's first probe of a key is
+    // a miss and the rest are hits; shard striping must not lose counts.
+    const THREADS: u64 = 4;
+    const KEYS: u64 = 16;
+    const ROUNDS: u64 = 10;
+    let world = hns_repro::simnet::World::paper();
+    let cache = Arc::new(HnsCache::new(CacheMode::Demarshalled));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let world = Arc::clone(&world);
+        let cache = Arc::clone(&cache);
+        handles.push(std::thread::spawn(move || {
+            for k in 0..KEYS {
+                let key = MetaKey::HostAddr(format!("ns-{t}"), format!("host-{k}"));
+                for round in 0..ROUNDS {
+                    match cache.lookup(&world, &key) {
+                        CacheLookup::Hit { value, .. } => {
+                            assert_eq!(*value, Value::U32((t * KEYS + k) as u32));
+                            assert!(round > 0, "first probe cannot hit");
+                        }
+                        CacheLookup::Miss => {
+                            assert_eq!(round, 0, "only the first probe may miss");
+                            cache.insert(
+                                &world,
+                                key.clone(),
+                                &Value::U32((t * KEYS + k) as u32),
+                                1,
+                                600,
+                            );
+                        }
+                        CacheLookup::NegativeHit => panic!("no negatives inserted"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no panics");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, THREADS * KEYS);
+    assert_eq!(stats.hits, THREADS * KEYS * (ROUNDS - 1));
+    assert_eq!(stats.inserts, THREADS * KEYS);
+    assert_eq!(cache.len() as u64, THREADS * KEYS);
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`, `hash_set`.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// uniform in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// Generates maps with keys from `key`, values from `value`, and a size
+/// drawn from `size` (best-effort when the key space is small).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = rng.usize_in(self.size.clone());
+        let mut out = BTreeMap::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates ordered sets with elements from `element` and a size drawn
+/// from `size` (best-effort when the element space is small).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.usize_in(self.size.clone());
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Strategy for `HashSet<T>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates hash sets with elements from `element` and a size drawn from
+/// `size` (best-effort when the element space is small).
+pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = rng.usize_in(self.size.clone());
+        let mut out = HashSet::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let strat = vec(0u32..100, 2..5);
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn sets_reach_target_when_space_is_large() {
+        let strat = hash_set(0u64..1_000_000_000, 5..6);
+        let mut rng = TestRng::new(10);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut rng).len(), 5);
+        }
+    }
+
+    #[test]
+    fn map_size_is_bounded() {
+        let strat = btree_map(0u32..4, 0u32..100, 0..10);
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            // Key space has only 4 values; size must never exceed it or the
+            // requested bound.
+            assert!(strat.generate(&mut rng).len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a cargo registry, so the workspace
+//! vendors a deterministic, no-shrinking property-testing core with the
+//! `proptest` API surface its tests use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`,
+//!   and `boxed`;
+//! - regex-class string strategies (`"[a-z0-9]{1,8}"`-style patterns);
+//! - numeric range strategies, [`strategy::Just`], tuple strategies,
+//!   [`arbitrary::any`];
+//! - [`collection::vec`], [`collection::btree_map`],
+//!   [`collection::btree_set`], [`collection::hash_set`];
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assume!`] macros;
+//! - [`test_runner::ProptestConfig`] (`with_cases`).
+//!
+//! Cases are generated from a per-test deterministic seed (hash of the
+//! test's module path and name plus the case index), so failures are
+//! reproducible run to run. There is no shrinking: a failing case panics
+//! with the ordinary `assert!` message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Accepts an optional `#![proptest_config(...)]` inner attribute followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items. Each test
+/// runs `cases` deterministic iterations; `prop_assume!` skips the current
+/// case, `prop_assert!`-style failures panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    let __one_case = move || $body;
+                    __one_case();
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current test case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

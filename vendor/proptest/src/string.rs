@@ -1,0 +1,161 @@
+//! Regex-class string generation.
+//!
+//! Supports the pattern subset the workspace's tests use: a concatenation
+//! of atoms, where each atom is a character class `[...]` (literal chars
+//! and `a-z` ranges) or a literal character, optionally followed by a
+//! `{n}` or `{m,n}` repetition count.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut choices = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class"));
+        if c == ']' {
+            break;
+        }
+        // `x-y` is a range when something other than `]` follows the dash;
+        // a trailing `-` (as in `[a-z0-9_-]`) is a literal.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            match lookahead.peek() {
+                Some(&end) if end != ']' => {
+                    chars.next();
+                    chars.next();
+                    assert!(c <= end, "inverted range {c}-{end}");
+                    for v in (c as u32)..=(end as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            choices.push(ch);
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        choices.push(c);
+    }
+    assert!(!choices.is_empty(), "empty character class");
+    choices
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unterminated repetition"),
+        }
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let min = lo.trim().parse().expect("repetition min");
+            let max = hi.trim().parse().expect("repetition max");
+            assert!(min <= max, "inverted repetition {{{spec}}}");
+            (min, max)
+        }
+        None => {
+            let n = spec.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = if c == '[' {
+            parse_class(&mut chars)
+        } else {
+            vec![c]
+        };
+        let (min, max) = parse_repeat(&mut chars);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_match(pattern: &str, check: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::new(42);
+        for _ in 0..300 {
+            let s = generate_from_pattern(pattern, &mut rng);
+            assert!(check(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash() {
+        all_match("[a-z0-9_-]{0,12}", |s| {
+            s.len() <= 12
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        all_match("[ -~]{0,64}", |s| {
+            s.len() <= 64 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        all_match("[a-z][a-z0-9]{0,5}", |s| {
+            (1..=6).contains(&s.len())
+                && s.starts_with(|c: char| c.is_ascii_lowercase())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        all_match("ab[0-9]{3}", |s| {
+            s.len() == 5 && s.starts_with("ab") && s[2..].chars().all(|c| c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn punctuation_class() {
+        all_match("[a-z0-9.:_-]{1,32}", |s| {
+            (1..=32).contains(&s.len())
+                && s.chars().all(|c| {
+                    c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || matches!(c, '.' | ':' | '_' | '-')
+                })
+        });
+    }
+}
