@@ -5,11 +5,14 @@
 //! ```text
 //! experiments all                 # everything, in order
 //! experiments table31 table32    # specific experiments
+//! experiments table31 --trace    # also run the traced scenario
+//! experiments --trace-out t.json # write the traced run's JSON export
+//! experiments --validate-trace t.json   # parse a JSON export, exit 1 on error
 //! ```
 //!
 //! Experiment ids: `table31 table32 overhead comparison preload eq1
 //! figure21 mappings ablate-batching ablate-mappings ablate-ttl
-//! scalability ablate-rereg`.
+//! scalability ablate-rereg traced`.
 
 use hns_bench::experiments as exp;
 
@@ -51,6 +54,7 @@ fn run_one(id: &str) -> Result<String, String> {
         "ablate-ttl" => exp::ablate_ttl::run().render(),
         "scalability" => exp::scalability::run().render(),
         "ablate-rereg" => exp::ablate_rereg::run().render(),
+        "traced" => exp::traced::run().render(),
         other => return Err(format!("unknown experiment `{other}`")),
     };
     Ok(out)
@@ -71,14 +75,80 @@ const ALL: &[&str] = &[
     "ablate-ttl",
     "scalability",
     "ablate-rereg",
+    "traced",
 ];
+
+/// Parses a JSON trace export and reports whether it is well-formed and
+/// carries the expected top-level structure.
+fn validate_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v = hns_bench::obs::json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if v.get("schema").and_then(|s| s.as_str()) != Some("hns-trace-v1") {
+        return Err(format!("{path}: missing or unexpected `schema`"));
+    }
+    let queries = v
+        .get("queries")
+        .and_then(|q| q.as_array())
+        .ok_or_else(|| format!("{path}: missing `queries` array"))?;
+    if queries.is_empty() {
+        return Err(format!("{path}: no queries in export"));
+    }
+    if v.get("metrics").is_none() {
+        return Err(format!("{path}: missing `metrics` snapshot"));
+    }
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut ids: Vec<&str> = Vec::new();
+    let mut trace = false;
+    let mut trace_out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => trace = true,
+            "--trace-out" => match it.next() {
+                Some(path) => {
+                    trace = true;
+                    trace_out = Some(path.clone());
+                }
+                None => {
+                    eprintln!("error: --trace-out requires a path");
+                    std::process::exit(1);
+                }
+            },
+            "--validate-trace" => match it.next() {
+                Some(path) => validate = Some(path.clone()),
+                None => {
+                    eprintln!("error: --validate-trace requires a path");
+                    std::process::exit(1);
+                }
+            },
+            other => ids.push(other),
+        }
+    }
+
+    if let Some(path) = validate {
+        match validate_trace(&path) {
+            Ok(()) => {
+                println!("{path}: valid hns-trace-v1 export");
+                return;
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let ids: Vec<&str> = if ids.is_empty() && trace {
+        Vec::new()
+    } else if ids.is_empty() || ids.contains(&"all") {
         ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids
     };
     let mut failed = false;
     for id in ids {
@@ -89,6 +159,20 @@ fn main() {
                 eprintln!("error: {err}");
                 eprintln!("known experiments: {}", ALL.join(" "));
                 failed = true;
+            }
+        }
+    }
+    if trace {
+        println!("=== traced queries ===");
+        let run = exp::traced::run();
+        println!("{}", run.render());
+        if let Some(path) = trace_out {
+            let json = run.to_json();
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("error: write {path}: {e}");
+                failed = true;
+            } else {
+                println!("trace JSON written to {path}");
             }
         }
     }

@@ -47,7 +47,7 @@ pub fn run() -> String {
     format!(
         "Figure 2.1 — HNS query processing (executable trace)\n\
          Client -> HNS (FindNSM) -> designated NSM -> underlying name service\n\n{}",
-        tb.world.tracer.render()
+        tb.world.tracer.render_tree()
     )
 }
 

@@ -15,3 +15,4 @@ pub mod preload;
 pub mod scalability;
 pub mod table31;
 pub mod table32;
+pub mod traced;

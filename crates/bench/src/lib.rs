@@ -14,4 +14,5 @@ pub mod experiments;
 pub mod scenario;
 
 pub use cells::{Cell, PaperTable, PlainTable};
+pub use hns_core::obs;
 pub use scenario::{deploy, Arrangement, CacheState, DeployedArrangement};

@@ -52,6 +52,7 @@ impl StdResolver {
         let world = Arc::clone(self.world());
         world.charge_ms(world.costs.cache_probe);
         if let Some(records) = self.cache.get(world.now(), name, rtype) {
+            world.metrics().inc("bind_resolver", "std_cache_hits");
             world.charge_ms(
                 world
                     .costs
@@ -71,6 +72,8 @@ impl StdResolver {
         name: &DomainName,
         rtype: RType,
     ) -> RpcResult<Vec<ResourceRecord>> {
+        let t0 = self.world().now();
+        self.world().metrics().inc("bind_resolver", "std_queries");
         let question = Question::new(name.clone(), rtype);
         let reply = self
             .net
@@ -81,6 +84,11 @@ impl StdResolver {
         let _wire = answer.to_fast_bytes().map_err(RpcError::Wire)?;
         let world = self.world();
         world.charge_ms(world.costs.fast_marshal(answer.records.len().max(1)));
+        world.metrics().record(
+            "bind_resolver",
+            "std_query_us",
+            world.now().since(t0).as_us(),
+        );
         answer.into_result(&question).map_err(|e| match e {
             crate::error::NsError::NameError(n) | crate::error::NsError::NoData(n) => {
                 RpcError::NotFound(n)
@@ -133,6 +141,11 @@ impl HrpcResolver {
     /// Queries the server; returns the answer and charges the generated
     /// marshalling cost plus the interface's fixed overhead.
     pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Vec<ResourceRecord>> {
+        let t0 = self.net.world().now();
+        self.net
+            .world()
+            .metrics()
+            .inc("bind_resolver", "hrpc_queries");
         let question = Question::new(name.clone(), rtype);
         let reply = self
             .net
@@ -142,6 +155,11 @@ impl HrpcResolver {
         world.charge_ms(
             world.costs.generated_miss(answer.records.len().max(1))
                 + world.costs.bind_resolver_overhead,
+        );
+        world.metrics().record(
+            "bind_resolver",
+            "hrpc_query_us",
+            world.now().since(t0).as_us(),
         );
         answer.into_result(&question).map_err(|e| match e {
             crate::error::NsError::NameError(n) | crate::error::NsError::NoData(n) => {
@@ -158,6 +176,7 @@ impl HrpcResolver {
     /// Marshalling is charged per record set — the batch saves transport
     /// round trips and per-call resolver overhead, not demarshalling work.
     pub fn mquery(&self, questions: &[Question], hints: &[String]) -> RpcResult<MultiAnswer> {
+        self.net.world().metrics().inc("bind_resolver", "mqueries");
         let mq = MultiQuestion::new(questions.to_vec(), hints.to_vec());
         let reply = self
             .net

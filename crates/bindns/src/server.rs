@@ -140,7 +140,13 @@ impl BindServer {
     fn serve_query(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
         ctx.world.charge_ms(ctx.world.costs.bind_service);
         ctx.world.count_ns_lookup();
+        ctx.world.metrics().inc("bindns", "queries");
         let question = Question::from_value(args).map_err(service_err)?;
+        let _span = ctx
+            .world
+            .span_lazy(Some(ctx.host), TraceKind::NameService, || {
+                format!("{}: query {} {}", self.name, question.name, question.rtype)
+            });
         let db = self.db.read();
         let answer = Self::answer_one(&db, &question);
         drop(db);
@@ -161,6 +167,15 @@ impl BindServer {
 
     fn serve_mquery(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
         let mq = MultiQuestion::from_value(args).map_err(service_err)?;
+        ctx.world.metrics().inc("bindns", "mqueries");
+        ctx.world
+            .metrics()
+            .add("bindns", "mquery_questions", mq.questions.len() as u64);
+        let _span = ctx
+            .world
+            .span_lazy(Some(ctx.host), TraceKind::NameService, || {
+                format!("{}: mquery ({} questions)", self.name, mq.questions.len())
+            });
         let db = self.db.read();
         let mut answers = Vec::with_capacity(mq.questions.len());
         for question in &mq.questions {
@@ -189,6 +204,9 @@ impl BindServer {
             }
         }
         drop(db);
+        ctx.world
+            .metrics()
+            .add("bindns", "chaser_additional_sets", additional.len() as u64);
         ctx.world.trace(
             Some(ctx.host),
             TraceKind::NameService,
@@ -209,6 +227,7 @@ impl BindServer {
 
     fn serve_axfr(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
         ctx.world.charge_ms(ctx.world.costs.bind_service);
+        ctx.world.metrics().inc("bindns", "zone_transfers");
         let origin = DomainName::parse(args.str_field("origin")?).map_err(service_err)?;
         let db = self.db.read();
         let zone = db
@@ -238,6 +257,7 @@ impl BindServer {
 
     fn serve_update(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
         ctx.world.charge_ms(ctx.world.costs.bind_service);
+        ctx.world.metrics().inc("bindns", "updates");
         if !self.allow_updates {
             let answer = Answer::err(Rcode::Refused);
             return answer.to_value().map_err(service_err);

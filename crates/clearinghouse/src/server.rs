@@ -134,7 +134,15 @@ impl RpcService for ChServer {
     }
 
     fn dispatch(&self, ctx: &CallCtx<'_>, proc_id: u32, args: &Value) -> RpcResult<Value> {
-        self.authenticate(ctx, args)?;
+        ctx.world.metrics().inc("clearinghouse", "requests");
+        let _span = ctx
+            .world
+            .span_lazy(Some(ctx.host), TraceKind::NameService, || {
+                format!("{}: proc {proc_id}", self.name)
+            });
+        self.authenticate(ctx, args).inspect_err(|_| {
+            ctx.world.metrics().inc("clearinghouse", "auth_failures");
+        })?;
         self.charge_access(ctx);
         ctx.world.count_ns_lookup();
         let result = match proc_id {

@@ -231,6 +231,35 @@ pub enum CacheLookup {
     Miss,
 }
 
+/// Internal probe result; plain misses are counted by the caller.
+enum Probe {
+    Hit {
+        value: Arc<Value>,
+        remaining_ttl_secs: u32,
+    },
+    Negative,
+    Miss {
+        /// An entry existed but its TTL had lapsed (already counted).
+        expired: bool,
+    },
+}
+
+/// Outcome of [`HnsCache::lookup_or_fetch`]: either the cache (or a
+/// coalesced leader's fetch) answered, or this caller owns the fetch.
+pub enum LookupOrFetch<'a> {
+    /// A live entry: the (shared) value and its remaining TTL, seconds.
+    Hit {
+        /// The cached value; demarshalled hits share the stored allocation.
+        value: Arc<Value>,
+        /// Seconds of validity the entry still has.
+        remaining_ttl_secs: u32,
+    },
+    /// A live negative entry: the name is authoritatively absent.
+    NegativeHit,
+    /// This caller must fetch; keep the guard alive until the insert.
+    Lead(FlightGuard<'a>),
+}
+
 /// Outcome of [`HnsCache::begin_fetch`] after a miss.
 pub enum FetchTicket<'a> {
     /// This caller owns the fetch; the guard must stay alive until the
@@ -316,10 +345,38 @@ impl HnsCache {
     /// Probes `key`, charging the probe cost and, on a hit, the
     /// form-dependent access cost of Table 3.2. Demarshalled hits share
     /// the stored `Arc` — no value clone.
+    ///
+    /// Counts one of hits / misses / expired / negative_hits per call.
+    /// Callers that follow a miss through the singleflight gate should
+    /// prefer [`HnsCache::lookup_or_fetch`], whose accounting counts
+    /// each logical operation exactly once even when it coalesces.
     pub fn lookup(&self, world: &World, key: &MetaKey) -> CacheLookup {
         if self.mode() == CacheMode::Disabled {
             return CacheLookup::Miss;
         }
+        match self.probe(world, key, true) {
+            Probe::Hit {
+                value,
+                remaining_ttl_secs,
+            } => CacheLookup::Hit {
+                value,
+                remaining_ttl_secs,
+            },
+            Probe::Negative => CacheLookup::NegativeHit,
+            Probe::Miss { expired } => {
+                if !expired {
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// The shared probe. Counts hits / negative_hits / expired when
+    /// `record_stats` is set; never counts plain misses (the caller
+    /// decides whether the miss is this operation's outcome or a
+    /// re-probe after a coalesced wait).
+    fn probe(&self, world: &World, key: &MetaKey, record_stats: bool) -> Probe {
         world.charge_ms(world.costs.cache_probe);
         let now = world.now();
         let mut entries = self.shard(key).entries.lock();
@@ -334,8 +391,7 @@ impl HnsCache {
                             Ok(v) => Arc::new(v),
                             Err(_) => {
                                 entries.remove(key);
-                                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                                return CacheLookup::Miss;
+                                return Probe::Miss { expired: false };
                             }
                         }
                     }
@@ -344,33 +400,106 @@ impl HnsCache {
                         Arc::clone(v)
                     }
                     Stored::Negative => {
-                        self.stats.negative_hits.fetch_add(1, Ordering::Relaxed);
-                        return CacheLookup::NegativeHit;
+                        if record_stats {
+                            self.stats.negative_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Probe::Negative;
                     }
                 };
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                // Gate on the tracer so the hot hit path never pays for
-                // the Debug formatting when tracing is off.
-                if world.tracer.is_enabled() {
-                    world.trace(
-                        None,
-                        simnet::trace::TraceKind::Cache,
-                        format!("hit {key:?}"),
-                    );
+                if record_stats {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    // Gate on the tracer so the hot hit path never pays
+                    // for the Debug formatting when tracing is off.
+                    if world.tracer.is_enabled() {
+                        world.trace(
+                            None,
+                            simnet::trace::TraceKind::Cache,
+                            format!("hit {key:?}"),
+                        );
+                    }
                 }
-                CacheLookup::Hit {
+                Probe::Hit {
                     value,
                     remaining_ttl_secs,
                 }
             }
             Some(_) => {
                 entries.remove(key);
-                self.stats.expired.fetch_add(1, Ordering::Relaxed);
-                CacheLookup::Miss
+                if record_stats {
+                    self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                }
+                Probe::Miss { expired: true }
             }
-            None => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                CacheLookup::Miss
+            None => Probe::Miss { expired: false },
+        }
+    }
+
+    /// Probes `key` and, on a miss, enters the singleflight gate —
+    /// looping through coalesced waits until the operation resolves as
+    /// a hit, a negative hit, or leadership of the fetch.
+    ///
+    /// Accounting contract (the `HnsCacheStats` double-count fix): each
+    /// logical operation moves **exactly one** of `hits`, `misses`,
+    /// `expired`, `negative_hits`, or `coalesced`. In particular a
+    /// coalesced waiter counts only `coalesced` — its initial probe is
+    /// not a `miss` (it never fetched) and its post-wait re-probe is
+    /// not a `hit` (the leader's fetch, not the cache, answered it).
+    ///
+    /// Also annotates the calling thread's current trace span with the
+    /// operation's [`simnet::trace::CacheOutcome`].
+    pub fn lookup_or_fetch(&self, world: &World, key: &MetaKey) -> LookupOrFetch<'_> {
+        use simnet::trace::CacheOutcome;
+        let mut waited = false;
+        loop {
+            let disabled = self.mode() == CacheMode::Disabled;
+            let probe = if disabled {
+                Probe::Miss { expired: false }
+            } else {
+                self.probe(world, key, !waited)
+            };
+            match probe {
+                Probe::Hit {
+                    value,
+                    remaining_ttl_secs,
+                } => {
+                    if !waited {
+                        world.cache_outcome(CacheOutcome::Hit);
+                    }
+                    return LookupOrFetch::Hit {
+                        value,
+                        remaining_ttl_secs,
+                    };
+                }
+                Probe::Negative => {
+                    if !waited {
+                        world.cache_outcome(CacheOutcome::NegativeHit);
+                    }
+                    return LookupOrFetch::NegativeHit;
+                }
+                Probe::Miss { expired } => match self.begin_fetch(key) {
+                    FetchTicket::Leader(guard) => {
+                        // An expiry was already counted by the probe; a
+                        // clean miss is counted here, at the moment this
+                        // operation commits to fetching.
+                        if !disabled && !expired {
+                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if !waited {
+                            world.cache_outcome(if expired {
+                                CacheOutcome::Expired
+                            } else {
+                                CacheOutcome::Miss
+                            });
+                        }
+                        return LookupOrFetch::Lead(guard);
+                    }
+                    FetchTicket::Coalesced => {
+                        if !waited {
+                            world.cache_outcome(CacheOutcome::Coalesced);
+                        }
+                        waited = true;
+                    }
+                },
             }
         }
     }
@@ -526,6 +655,21 @@ impl HnsCache {
     /// Resets statistics.
     pub fn reset_stats(&self) {
         self.stats.reset();
+    }
+
+    /// Exports the current statistics into a metrics registry under
+    /// `component` (the hot probe path keeps its own atomics; this
+    /// publishes them at snapshot time).
+    pub fn export_metrics(&self, metrics: &simnet::obs::MetricsRegistry, component: &str) {
+        let s = self.stats();
+        metrics.set_counter(component, "hits", s.hits);
+        metrics.set_counter(component, "misses", s.misses);
+        metrics.set_counter(component, "expired", s.expired);
+        metrics.set_counter(component, "negative_hits", s.negative_hits);
+        metrics.set_counter(component, "coalesced", s.coalesced);
+        metrics.set_counter(component, "inserts", s.inserts);
+        metrics.set_counter(component, "preloaded", s.preloaded);
+        metrics.set_counter(component, "entries", self.len() as u64);
     }
 }
 
@@ -797,5 +941,113 @@ mod tests {
         }
         assert!(matches!(cache.begin_fetch(&key()), FetchTicket::Leader(_)));
         let _ = world; // silence unused
+    }
+
+    #[test]
+    fn lookup_or_fetch_counts_cold_miss_once() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        let guard = match cache.lookup_or_fetch(&world, &key()) {
+            LookupOrFetch::Lead(guard) => guard,
+            _ => panic!("cold probe must lead"),
+        };
+        cache.insert(&world, key(), &value(), 1, 600);
+        drop(guard);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.coalesced, 0);
+        // Warm path is a plain hit.
+        assert!(matches!(
+            cache.lookup_or_fetch(&world, &key()),
+            LookupOrFetch::Hit { .. }
+        ));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn lookup_or_fetch_expired_counts_expiry_not_miss() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 1);
+        world.charge_ms(1_500.0);
+        match cache.lookup_or_fetch(&world, &key()) {
+            LookupOrFetch::Lead(_guard) => {}
+            _ => panic!("expired entry must lead a refetch"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.misses, 0, "an expiry is not a plain miss");
+    }
+
+    /// Regression (ISSUE 2 satellite): a coalesced waiter must count
+    /// exactly one `coalesced` — not a `miss` for its initial probe and
+    /// not a `hit` for its post-wait re-probe.
+    #[test]
+    fn coalesced_waiters_are_not_double_counted() {
+        const WAITERS: usize = 4;
+        let world = simnet::World::paper();
+        let cache = Arc::new(HnsCache::new(CacheMode::Demarshalled));
+
+        let guard = match cache.lookup_or_fetch(&world, &key()) {
+            LookupOrFetch::Lead(guard) => guard,
+            _ => panic!("leader expected"),
+        };
+
+        let barrier = Arc::new(std::sync::Barrier::new(WAITERS + 1));
+        let handles: Vec<_> = (0..WAITERS)
+            .map(|_| {
+                let world = Arc::clone(&world);
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match cache.lookup_or_fetch(&world, &key()) {
+                        LookupOrFetch::Hit { value, .. } => (*value).clone(),
+                        _ => panic!("waiter must see the leader's insert"),
+                    }
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        // Deterministic ordering: every waiter registers in the flight
+        // (bumping `coalesced`) before the fetch completes, so each one
+        // resolves via its quiet post-wait re-probe.
+        while cache.stats().coalesced < WAITERS as u64 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        cache.insert(&world, key(), &value(), 1, 600);
+        drop(guard);
+        for h in handles {
+            assert_eq!(h.join().expect("join"), value());
+        }
+
+        let stats = cache.stats();
+        // Exactly one stat per logical operation.
+        assert_eq!(stats.misses, 1, "only the leader's fetch is a miss");
+        assert_eq!(stats.coalesced, WAITERS as u64);
+        assert_eq!(
+            stats.hits, 0,
+            "a coalesced waiter's re-probe must not count a hit: {stats:?}"
+        );
+        assert_eq!(stats.expired, 0);
+        assert_eq!(stats.negative_hits, 0);
+    }
+
+    #[test]
+    fn export_metrics_publishes_stats() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 600);
+        let _ = cache.get(&world, &key());
+        let metrics = simnet::obs::MetricsRegistry::new();
+        cache.export_metrics(&metrics, "hns_cache");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("hns_cache", "hits"), Some(1));
+        assert_eq!(snap.counter("hns_cache", "inserts"), Some(1));
+        assert_eq!(snap.counter("hns_cache", "entries"), Some(1));
     }
 }

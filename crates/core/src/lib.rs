@@ -37,7 +37,11 @@ pub mod nsm;
 pub mod query;
 pub mod service;
 
-pub use cache::{CacheLookup, CacheMode, FetchTicket, HnsCache, HnsCacheStats, MetaKey};
+pub use simnet::obs;
+
+pub use cache::{
+    CacheLookup, CacheMode, FetchTicket, HnsCache, HnsCacheStats, LookupOrFetch, MetaKey,
+};
 pub use chaser::MetaChaser;
 pub use colocation::{AgentClient, AgentService, HnsClient, HnsHandle, HnsService};
 pub use error::{HnsError, HnsResult};
@@ -45,4 +49,4 @@ pub use meta::{ContextInfo, Fetched, MetaBatch, MetaStore, META_TTL};
 pub use name::{Context, HnsName, NameMapping};
 pub use nsm::{Nsm, NsmClient, NsmInfo, NsmService, SuiteTag, NSM_PROC_QUERY};
 pub use query::QueryClass;
-pub use service::{Hns, PreloadReport};
+pub use service::{FindNsmReport, Hns, PreloadReport};

@@ -65,12 +65,20 @@ impl RpcService for NsmService {
             .map_err(|e| RpcError::Service(e.to_string()))?;
         let hns_name = HnsName::new(context, args.str_field("name")?)
             .map_err(|e| RpcError::Service(e.to_string()))?;
+        ctx.world.metrics().inc("nsm", "queries");
         ctx.world.trace(
             Some(ctx.host),
             simnet::trace::TraceKind::Nsm,
             format!("{}: query for {}", self.inner.nsm_name(), hns_name),
         );
-        self.inner.handle(&hns_name, args)
+        let span = ctx
+            .world
+            .span_lazy(Some(ctx.host), simnet::trace::TraceKind::Nsm, || {
+                format!("NSM {} handles {}", self.inner.nsm_name(), hns_name)
+            });
+        let result = self.inner.handle(&hns_name, args);
+        drop(span);
+        result
     }
 }
 
@@ -104,6 +112,7 @@ impl NsmClient {
         extra: Vec<(&str, Value)>,
     ) -> RpcResult<Value> {
         let world = self.net.world();
+        world.metrics().inc("nsm", "client_calls");
         if !world.topology.colocated(self.host, binding.host) {
             // Marshalling of the NSM interface arguments on a remote hop.
             world.charge_ms(world.costs.nsm_arg_marshal);

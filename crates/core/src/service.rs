@@ -31,7 +31,10 @@ use hrpc::net::RpcNet;
 use hrpc::{HrpcBinding, RpcError};
 use wire::Value;
 
-use crate::cache::{CacheLookup, CacheMode, FetchTicket, HnsCache, HnsCacheStats, MetaKey};
+use simnet::time::SimDuration;
+use simnet::trace::CacheOutcome;
+
+use crate::cache::{CacheMode, HnsCache, HnsCacheStats, LookupOrFetch, MetaKey};
 use crate::error::{HnsError, HnsResult};
 use crate::meta::{ContextInfo, Fetched, MetaStore};
 use crate::name::{Context, HnsName, NameMapping};
@@ -58,6 +61,25 @@ pub struct Hns {
 /// [`CacheMode::Disabled`] runs; its demarshalling cost was already charged
 /// when the `MQUERY` reply was decoded.
 type BatchOverlay = HashMap<DomainName, Fetched<Vec<String>>>;
+
+/// Per-query accounting attached to a `FindNSM` by
+/// [`Hns::find_nsm_report`].
+///
+/// Round trips are derived from the world's remote-call counter delta
+/// across the query, so they are exact for the single-threaded
+/// experiment drivers (concurrent queries on one world attribute each
+/// other's calls; the per-span `round_trips` from tracing are not
+/// affected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FindNsmReport {
+    /// Remote round trips the query performed (6 on the sequential cold
+    /// path; ≤ 2 with batching; 0 warm).
+    pub remote_round_trips: u64,
+    /// Whether the batched MQUERY pipeline was enabled for this query.
+    pub batched: bool,
+    /// Virtual time the query took.
+    pub took: SimDuration,
+}
 
 /// Result of a cache preload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,50 +225,44 @@ impl Hns {
     ) -> HnsResult<Fetched<Vec<String>>> {
         self.world().charge_ms(self.world().costs.hns_bookkeeping);
         if let Some(fetched) = overlay.and_then(|o| o.get(key)) {
+            self.world().cache_outcome(CacheOutcome::Overlay);
             return Ok(fetched.clone());
         }
         let cache_key = MetaKey::Meta(key.clone());
-        loop {
-            match self.cache.lookup(self.world(), &cache_key) {
-                CacheLookup::Hit {
-                    value,
-                    remaining_ttl_secs,
-                } => {
-                    let payloads = Self::value_to_payloads(&value)?;
-                    let rrs = payloads.len();
-                    return Ok(Fetched {
-                        value: payloads,
-                        rrs,
-                        ttl_secs: remaining_ttl_secs,
-                    });
-                }
-                CacheLookup::NegativeHit => {
-                    return Err(HnsError::Rpc(RpcError::NotFound(key.to_string())));
-                }
-                CacheLookup::Miss => {}
+        // `lookup_or_fetch` loops through coalesced waits internally and
+        // annotates the current span with the cache outcome.
+        match self.cache.lookup_or_fetch(self.world(), &cache_key) {
+            LookupOrFetch::Hit {
+                value,
+                remaining_ttl_secs,
+            } => {
+                let payloads = Self::value_to_payloads(&value)?;
+                let rrs = payloads.len();
+                Ok(Fetched {
+                    value: payloads,
+                    rrs,
+                    ttl_secs: remaining_ttl_secs,
+                })
             }
-            match self.cache.begin_fetch(&cache_key) {
-                FetchTicket::Leader(_guard) => {
-                    let fetched = match self.meta.fetch(key) {
-                        Ok(fetched) => fetched,
-                        Err(HnsError::Rpc(RpcError::NotFound(n))) => {
-                            self.cache.insert_negative(self.world(), cache_key);
-                            return Err(HnsError::Rpc(RpcError::NotFound(n)));
-                        }
-                        Err(other) => return Err(other),
-                    };
-                    let value = Value::List(fetched.value.iter().map(Value::str).collect());
-                    self.cache.insert(
-                        self.world(),
-                        cache_key,
-                        &value,
-                        fetched.rrs,
-                        fetched.ttl_secs,
-                    );
-                    return Ok(fetched);
-                }
-                // Another thread just finished fetching this key; re-probe.
-                FetchTicket::Coalesced => continue,
+            LookupOrFetch::NegativeHit => Err(HnsError::Rpc(RpcError::NotFound(key.to_string()))),
+            LookupOrFetch::Lead(_guard) => {
+                let fetched = match self.meta.fetch(key) {
+                    Ok(fetched) => fetched,
+                    Err(HnsError::Rpc(RpcError::NotFound(n))) => {
+                        self.cache.insert_negative(self.world(), cache_key);
+                        return Err(HnsError::Rpc(RpcError::NotFound(n)));
+                    }
+                    Err(other) => return Err(other),
+                };
+                let value = Value::List(fetched.value.iter().map(Value::str).collect());
+                self.cache.insert(
+                    self.world(),
+                    cache_key,
+                    &value,
+                    fetched.rrs,
+                    fetched.ttl_secs,
+                );
+                Ok(fetched)
             }
         }
     }
@@ -315,33 +331,37 @@ impl Hns {
     ) -> HnsResult<HostId> {
         self.world().charge_ms(self.world().costs.hns_bookkeeping);
         let cache_key = MetaKey::HostAddr(host_ns.to_string(), host_name.to_string());
-        loop {
-            match self.cache.lookup(self.world(), &cache_key) {
-                CacheLookup::Hit { value, .. } => {
-                    return Ok(HostId(value.u32_field("host").map_err(HnsError::from)?));
-                }
-                CacheLookup::NegativeHit | CacheLookup::Miss => {}
+        let _guard = match self.cache.lookup_or_fetch(self.world(), &cache_key) {
+            LookupOrFetch::Hit { value, .. } => {
+                return Ok(HostId(value.u32_field("host").map_err(HnsError::from)?));
             }
-            match self.cache.begin_fetch(&cache_key) {
-                FetchTicket::Leader(_guard) => {
-                    let linked = self
-                        .linked_nsms
-                        .read()
-                        .get(ha_nsm_name)
-                        .cloned()
-                        .ok_or_else(|| HnsError::NoLinkedHostAddrNsm(host_ns.to_string()))?;
-                    let hns_name = HnsName::new(host_context.clone(), host_name)?;
-                    let reply = linked
-                        .handle(&hns_name, &Value::Void)
-                        .map_err(HnsError::Rpc)?;
-                    let host = HostId(reply.u32_field("host").map_err(HnsError::from)?);
-                    let ttl = reply.u32_field("ttl").unwrap_or(crate::meta::META_TTL);
-                    self.cache.insert(self.world(), cache_key, &reply, 1, ttl);
-                    return Ok(host);
-                }
-                FetchTicket::Coalesced => continue,
-            }
-        }
+            // Host-address keys never cache negatives; fetch directly.
+            LookupOrFetch::NegativeHit => None,
+            LookupOrFetch::Lead(guard) => Some(guard),
+        };
+        let linked = self
+            .linked_nsms
+            .read()
+            .get(ha_nsm_name)
+            .cloned()
+            .ok_or_else(|| HnsError::NoLinkedHostAddrNsm(host_ns.to_string()))?;
+        let hns_name = HnsName::new(host_context.clone(), host_name)?;
+        let world = self.world();
+        world.metrics().inc("nsm", "linked_calls");
+        let reply = {
+            let span = world.span_lazy(Some(self.host), TraceKind::Nsm, || {
+                format!("linked NSM {ha_nsm_name}: {host_name} -> address")
+            });
+            let reply = linked
+                .handle(&hns_name, &Value::Void)
+                .map_err(HnsError::Rpc)?;
+            drop(span);
+            reply
+        };
+        let host = HostId(reply.u32_field("host").map_err(HnsError::from)?);
+        let ttl = reply.u32_field("ttl").unwrap_or(crate::meta::META_TTL);
+        self.cache.insert(self.world(), cache_key, &reply, 1, ttl);
+        Ok(host)
     }
 
     /// Speculatively fetches the whole meta-mapping chain for (`context`,
@@ -393,39 +413,170 @@ impl Hns {
     /// The primary HNS function: maps a context and query class to an HRPC
     /// binding for the NSM that can serve the query.
     pub fn find_nsm(&self, qc: &QueryClass, name: &HnsName) -> HnsResult<HrpcBinding> {
-        self.world().trace(
-            Some(self.host),
-            TraceKind::Hns,
-            format!("FindNSM(query class {qc}, name {name})"),
+        self.find_nsm_report(qc, name).map(|(binding, _)| binding)
+    }
+
+    /// [`Hns::find_nsm`] plus per-query accounting: the remote round
+    /// trips the query made (6 sequential cold, ≤ 2 batched cold, 0
+    /// warm), whether batching was on, and the virtual time it took.
+    ///
+    /// When tracing is enabled the query also records a root span named
+    /// `FindNSM(query class …, name …)` with one child span per meta
+    /// mapping; per-mapping latency lands in the `hns_meta` histograms
+    /// and the round-trip distributions in `hns/find_nsm_round_trips_*`
+    /// either way.
+    pub fn find_nsm_report(
+        &self,
+        qc: &QueryClass,
+        name: &HnsName,
+    ) -> HnsResult<(HrpcBinding, FindNsmReport)> {
+        let world = Arc::clone(self.world());
+        let batched = self.batching();
+        let span = world.span_lazy(Some(self.host), TraceKind::Hns, || {
+            format!("FindNSM(query class {qc}, name {name})")
+        });
+        let t0 = world.now();
+        let calls0 = world.counters().remote_calls;
+        let result = self.find_nsm_inner(qc, name, batched);
+        let took = world.now().since(t0);
+        let remote_round_trips = world.counters().remote_calls.saturating_sub(calls0);
+        span.add_round_trips(remote_round_trips);
+        drop(span);
+
+        let metrics = world.metrics();
+        metrics.inc("hns", "find_nsm_calls");
+        metrics.add("hns", "find_nsm_errors", u64::from(result.is_err()));
+        metrics.add("hns", "find_nsm_remote_round_trips", remote_round_trips);
+        metrics.record(
+            "hns",
+            if batched {
+                "find_nsm_round_trips_batched"
+            } else {
+                "find_nsm_round_trips_sequential"
+            },
+            remote_round_trips,
         );
+        metrics.record_ms("hns", "find_nsm_us", took.as_ms_f64());
+
+        let binding = result?;
+        Ok((
+            binding,
+            FindNsmReport {
+                remote_round_trips,
+                batched,
+                took,
+            },
+        ))
+    }
+
+    /// Runs `f` inside a `mapping {idx}` child span and records its
+    /// virtual latency in the `hns_meta/mapping{idx}_us` histogram.
+    fn with_mapping<T>(
+        &self,
+        idx: usize,
+        label: impl FnOnce() -> String,
+        f: impl FnOnce() -> HnsResult<T>,
+    ) -> HnsResult<T> {
+        const HIST: [&str; 6] = [
+            "mapping1_us",
+            "mapping2_us",
+            "mapping3_us",
+            "mapping4_us",
+            "mapping5_us",
+            "mapping6_us",
+        ];
+        let world = self.world();
+        let span = world.span_lazy(Some(self.host), TraceKind::Hns, || {
+            format!("mapping {idx}: {}", label())
+        });
+        let t0 = world.now();
+        let result = f();
+        let took_ms = world.now().since(t0).as_ms_f64();
+        drop(span);
+        world
+            .metrics()
+            .record_ms("hns_meta", HIST[idx - 1], took_ms);
+        result
+    }
+
+    fn find_nsm_inner(
+        &self,
+        qc: &QueryClass,
+        name: &HnsName,
+        batched: bool,
+    ) -> HnsResult<HrpcBinding> {
         // With batching enabled, one MQUERY fetches mapping 1 and lets the
         // meta server's chaser piggyback mappings 2-5; the walk below then
         // runs against the overlay instead of making per-mapping calls.
-        let overlay = if self.batching() {
-            Some(self.prefetch_meta_batch(&name.context, qc)?)
+        let overlay = if batched {
+            let world = self.world();
+            let span = world.span_lazy(Some(self.host), TraceKind::Hns, || {
+                format!("MQUERY batch prefetch (context {}, {qc})", name.context)
+            });
+            let t0 = world.now();
+            let prefetched = self.prefetch_meta_batch(&name.context, qc);
+            let took_ms = world.now().since(t0).as_ms_f64();
+            drop(span);
+            world
+                .metrics()
+                .record_ms("hns_meta", "batch_prefetch_us", took_ms);
+            Some(prefetched?)
         } else {
             None
         };
         let overlay = overlay.as_ref();
         // Mapping 1: Context -> Name Service Name.
-        let ctx_info = self.context_info_with(&name.context, overlay)?;
+        let ctx_info = self.with_mapping(
+            1,
+            || format!("context {} -> name service", name.context),
+            || self.context_info_with(&name.context, overlay),
+        )?;
         // Mapping 2: Name Service Name, Query Class -> NSM Name.
-        let nsm_name = self.nsm_name_with(&ctx_info.name_service, qc, overlay)?;
+        let nsm_name = self.with_mapping(
+            2,
+            || format!("({}, {qc}) -> NSM name", ctx_info.name_service),
+            || self.nsm_name_with(&ctx_info.name_service, qc, overlay),
+        )?;
         // Mapping 3: NSM Name -> HRPC Binding for the NSM. The stored info
         // names the NSM's host; translating that is itself an HNS naming
         // operation (mappings 4-6).
-        let info = self.nsm_info_with(&nsm_name, overlay)?;
-        let host_ctx_info = self.context_info_with(&info.host_context, overlay)?;
-        let ha_nsm = self.nsm_name_with(
-            &host_ctx_info.name_service,
-            &QueryClass::host_address(),
-            overlay,
+        let info = self.with_mapping(
+            3,
+            || format!("NSM {nsm_name} -> binding info"),
+            || self.nsm_info_with(&nsm_name, overlay),
         )?;
-        let host = self.host_address(
-            &host_ctx_info.name_service,
-            &ha_nsm,
-            &info.host_name,
-            &info.host_context,
+        let host_ctx_info = self.with_mapping(
+            4,
+            || format!("host context {} -> name service", info.host_context),
+            || self.context_info_with(&info.host_context, overlay),
+        )?;
+        let ha_nsm = self.with_mapping(
+            5,
+            || {
+                format!(
+                    "({}, hostaddress) -> HA-NSM name",
+                    host_ctx_info.name_service
+                )
+            },
+            || {
+                self.nsm_name_with(
+                    &host_ctx_info.name_service,
+                    &QueryClass::host_address(),
+                    overlay,
+                )
+            },
+        )?;
+        let host = self.with_mapping(
+            6,
+            || format!("host {} -> address", info.host_name),
+            || {
+                self.host_address(
+                    &host_ctx_info.name_service,
+                    &ha_nsm,
+                    &info.host_name,
+                    &info.host_context,
+                )
+            },
         )?;
         let binding = HrpcBinding {
             host,
@@ -440,6 +591,13 @@ impl Hns {
             format!("FindNSM -> {nsm_name} at {host}:{}", info.port),
         );
         Ok(binding)
+    }
+
+    /// Publishes this instance's cache statistics into the world's
+    /// metrics registry (component `hns_cache`).
+    pub fn export_metrics(&self) {
+        self.cache
+            .export_metrics(self.world().metrics(), "hns_cache");
     }
 
     /// Preloads the cache by zone transfer of the whole meta zone.

@@ -245,61 +245,80 @@ impl RpcNet {
             .next_xid
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 
+        let span = self.world.span_lazy(Some(caller), TraceKind::Rpc, || {
+            format!(
+                "rpc {} -> {}:{} prog {} ({:?})",
+                caller,
+                binding.host,
+                binding.port,
+                binding.program.0,
+                components.suite_kind()
+            )
+        });
+        let t0 = self.world.now();
         let mut attempts = 0;
-        loop {
+        let result = loop {
             attempts += 1;
             self.world.charge_ms(per_req);
             self.world.count_remote_call(req_bytes.len() as u64);
 
             // Request leg.
             if datagram && self.datagram_dropped() {
+                self.world.metrics().inc("hrpc_net", "datagrams_lost");
                 self.world.trace(
                     Some(caller),
                     TraceKind::Rpc,
                     format!("request to {} lost (attempt {attempts})", binding.host),
                 );
                 if attempts >= max_attempts {
-                    return Err(RpcError::Timeout { attempts });
+                    break Err(RpcError::Timeout { attempts });
                 }
                 continue;
             }
 
             // Execution, with at-most-once duplicate suppression where the
             // control protocol keeps call state.
-            let reply = if datagram && components.control.at_most_once() {
+            let served = if datagram && components.control.at_most_once() {
                 let key = (caller, xid);
                 // NB: take the cached value out before branching so the
                 // lock guard is released (the else branch locks again).
                 let cached = self.replies.lock().get(&key).cloned();
                 if let Some(cached) = cached {
+                    self.world.metrics().inc("hrpc_net", "reply_cache_hits");
                     self.world.trace(
                         Some(binding.host),
                         TraceKind::Rpc,
                         format!("duplicate xid {xid} answered from reply cache"),
                     );
-                    cached
+                    Ok(cached)
                 } else {
-                    let reply = self.serve(caller, binding, proc_id, &decoded_args)?;
-                    let mut replies = self.replies.lock();
-                    if replies.len() > REPLY_CACHE_LIMIT {
-                        replies.clear();
-                    }
-                    replies.insert(key, reply.clone());
-                    reply
+                    self.serve(caller, binding, proc_id, &decoded_args)
+                        .inspect(|reply| {
+                            let mut replies = self.replies.lock();
+                            if replies.len() > REPLY_CACHE_LIMIT {
+                                replies.clear();
+                            }
+                            replies.insert(key, reply.clone());
+                        })
                 }
             } else {
-                self.serve(caller, binding, proc_id, &decoded_args)?
+                self.serve(caller, binding, proc_id, &decoded_args)
+            };
+            let reply = match served {
+                Ok(reply) => reply,
+                Err(err) => break Err(err),
             };
 
             // Response leg.
             if datagram && self.datagram_dropped() {
+                self.world.metrics().inc("hrpc_net", "datagrams_lost");
                 self.world.trace(
                     Some(caller),
                     TraceKind::Rpc,
                     format!("reply from {} lost (attempt {attempts})", binding.host),
                 );
                 if attempts >= max_attempts {
-                    return Err(RpcError::Timeout { attempts });
+                    break Err(RpcError::Timeout { attempts });
                 }
                 continue;
             }
@@ -316,11 +335,24 @@ impl RpcNet {
                     components.suite_kind()
                 ),
             );
-            let reply_bytes = components.data_rep.encode(&reply)?;
+            break components.data_rep.encode(&reply).map_err(RpcError::from);
+        };
+        let result = result.and_then(|reply_bytes| {
             self.world
                 .charge_ms(self.world.costs.per_kb * reply_bytes.len() as f64 / 1024.0);
-            return Ok(components.data_rep.decode(&reply_bytes)?);
+            Ok(components.data_rep.decode(&reply_bytes)?)
+        });
+
+        span.add_round_trips(u64::from(attempts));
+        drop(span);
+        let took = self.world.now().since(t0);
+        self.world
+            .metrics()
+            .record("hrpc_net", "remote_call_us", took.as_us());
+        if result.is_err() {
+            self.world.metrics().inc("hrpc_net", "call_errors");
         }
+        result
     }
 
     fn serve(

@@ -94,6 +94,11 @@ impl BindingBindNsm {
         self.cache.clear();
     }
 
+    /// Publishes this NSM's cache stats into `metrics` under `component`.
+    pub fn export_metrics(&self, metrics: &simnet::obs::MetricsRegistry, component: &str) {
+        self.cache.export_metrics(metrics, component);
+    }
+
     fn lookup_host(&self, local: &str) -> RpcResult<(HostId, u32)> {
         let domain = DomainName::parse(local).map_err(|e| RpcError::Service(e.to_string()))?;
         let records = self.resolver.query_uncached(&domain, RType::A)?;

@@ -67,6 +67,11 @@ impl BindingChNsm {
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
     }
+
+    /// Publishes this NSM's cache stats into `metrics` under `component`.
+    pub fn export_metrics(&self, metrics: &simnet::obs::MetricsRegistry, component: &str) {
+        self.cache.export_metrics(metrics, component);
+    }
 }
 
 impl Nsm for BindingChNsm {

@@ -101,17 +101,20 @@ impl NsmCache {
                     }
                 };
                 self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                world.cache_outcome(simnet::trace::CacheOutcome::Hit);
                 Some(value)
             }
             Some(_) => {
                 entries.remove(key);
                 self.misses
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                world.cache_outcome(simnet::trace::CacheOutcome::Expired);
                 None
             }
             None => {
                 self.misses
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                world.cache_outcome(simnet::trace::CacheOutcome::Miss);
                 None
             }
         }
@@ -154,6 +157,21 @@ impl NsmCache {
         for shard in &self.shards {
             shard.lock().clear();
         }
+    }
+
+    /// Publishes current hit/miss totals into a metrics registry under
+    /// `component` (snapshot-time export; the hot path keeps its own
+    /// atomics).
+    pub fn export_metrics(&self, metrics: &simnet::obs::MetricsRegistry, component: &str) {
+        let (hits, misses) = self.stats();
+        metrics.set_counter(component, "hits", hits);
+        metrics.set_counter(component, "misses", misses);
+        let entries = self
+            .shards
+            .iter()
+            .map(|shard| shard.lock().len() as u64)
+            .sum();
+        metrics.set_counter(component, "entries", entries);
     }
 }
 

@@ -1,0 +1,636 @@
+//! Unified metrics registry: lock-striped counters and fixed-bucket
+//! latency histograms keyed by `(component, name)`.
+//!
+//! Components register metrics lazily through [`MetricsRegistry`]; the
+//! handles ([`Counter`], [`Histogram`]) are cheap `Arc`s that hot paths
+//! cache. Counters stripe their cells across cache lines so concurrent
+//! writers from different threads do not bounce a single word;
+//! histograms use atomic per-bucket counts, so concurrent `record`s are
+//! never lost (asserted by the concurrency tests below).
+//!
+//! Histogram buckets are fixed at construction: exact buckets for
+//! values `0..64` (so small counts — round trips, record counts — are
+//! reported exactly), then 16 sub-buckets per power of two above that
+//! (≤ ~6% relative error for latencies). Percentiles report the upper
+//! bound of the bucket containing the target rank, which makes
+//! `percentile(p)` monotone in `p` by construction (proptested).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Number of exact (width-1) buckets at the bottom of every histogram.
+const LINEAR_BUCKETS: usize = 64;
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUB_BUCKETS: usize = 16;
+/// Octaves covered: values with a top bit in positions 6..=63.
+const OCTAVES: usize = 58;
+/// Total bucket count.
+const BUCKETS: usize = LINEAR_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        v as usize
+    } else {
+        let k = 63 - v.leading_zeros() as usize; // top bit position, >= 6
+        let sub = ((v >> (k - 4)) & 15) as usize;
+        LINEAR_BUCKETS + (k - 6) * SUB_BUCKETS + sub
+    }
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    if i < LINEAR_BUCKETS {
+        i as u64
+    } else {
+        let j = i - LINEAR_BUCKETS;
+        let k = j / SUB_BUCKETS + 6;
+        let sub = (j % SUB_BUCKETS) as u64;
+        let next_lower = ((16 + sub + 1) as u128) << (k - 4);
+        if next_lower > u64::MAX as u128 {
+            u64::MAX // topmost bucket
+        } else {
+            (next_lower - 1) as u64
+        }
+    }
+}
+
+/// Stripe count for [`Counter`]; power of two.
+const STRIPES: usize = 8;
+
+/// One cache line per stripe so concurrent writers don't false-share.
+#[repr(align(64))]
+struct Stripe(AtomicU64);
+
+/// A monotone counter striped across cache lines.
+///
+/// `inc`/`add` touch one stripe chosen by the calling thread; `value`
+/// sums all stripes (a consistent total once writers are quiescent).
+pub struct Counter {
+    stripes: Vec<Stripe>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            stripes: (0..STRIPES).map(|_| Stripe(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    fn stripe(&self) -> &AtomicU64 {
+        use std::hash::{Hash, Hasher};
+        thread_local! {
+            static STRIPE_IDX: usize = {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish() as usize
+            };
+        }
+        let idx = STRIPE_IDX.with(|i| *i) & (STRIPES - 1);
+        &self.stripes[idx].0
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.stripe().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all stripes.
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Overwrites the total (stripe 0 takes the value, the rest reset).
+    ///
+    /// Used to export externally-maintained counters (for example
+    /// `HnsCacheStats`) into the registry at snapshot time; not safe to
+    /// mix with concurrent `add`s.
+    pub fn set(&self, v: u64) {
+        self.stripes[0].0.store(v, Ordering::Relaxed);
+        for s in &self.stripes[1..] {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples with atomic buckets.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `p` in `[0, 1]`: the upper bound of the
+    /// bucket holding the sample of rank `ceil(p * count)`. Returns 0
+    /// for an empty histogram. Monotone in `p`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((p * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return bucket_upper(i);
+            }
+        }
+        // Writers may have bumped `count` after our bucket pass; fall
+        // back to the highest non-empty bucket.
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn sample(&self) -> HistogramStats {
+        let count = self.count();
+        HistogramStats {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Point-in-time statistics of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramStats {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramStats {
+    /// Arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A counter's identity and value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    pub component: String,
+    pub name: String,
+    pub value: u64,
+}
+
+/// A histogram's identity and statistics inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    pub component: String,
+    pub name: String,
+    pub stats: HistogramStats,
+}
+
+/// Registry of all counters and histograms, keyed by `(component, name)`.
+///
+/// Metric names carry their unit as a suffix by convention: `*_us` for
+/// microsecond histograms, bare names for counts.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<(String, String), Arc<Counter>>>,
+    histograms: RwLock<HashMap<(String, String), Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.counters.read().len())
+            .field("histograms", &self.histograms.read().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering if needed) the counter `component/name`.
+    pub fn counter(&self, component: &str, name: &str) -> Arc<Counter> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .get(&(component.to_string(), name.to_string()))
+        {
+            return Arc::clone(c);
+        }
+        let mut w = self.counters.write();
+        Arc::clone(
+            w.entry((component.to_string(), name.to_string()))
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Returns (registering if needed) the histogram `component/name`.
+    pub fn histogram(&self, component: &str, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .get(&(component.to_string(), name.to_string()))
+        {
+            return Arc::clone(h);
+        }
+        let mut w = self.histograms.write();
+        Arc::clone(
+            w.entry((component.to_string(), name.to_string()))
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Adds one to the counter `component/name`.
+    pub fn inc(&self, component: &str, name: &str) {
+        self.counter(component, name).inc();
+    }
+
+    /// Adds `n` to the counter `component/name`.
+    pub fn add(&self, component: &str, name: &str, n: u64) {
+        self.counter(component, name).add(n);
+    }
+
+    /// Overwrites the counter `component/name` (see [`Counter::set`]).
+    pub fn set_counter(&self, component: &str, name: &str, v: u64) {
+        self.counter(component, name).set(v);
+    }
+
+    /// Records a raw sample into the histogram `component/name`.
+    pub fn record(&self, component: &str, name: &str, v: u64) {
+        self.histogram(component, name).record(v);
+    }
+
+    /// Records a millisecond duration into the `_us` histogram
+    /// `component/name` (converted to whole microseconds).
+    pub fn record_ms(&self, component: &str, name: &str, ms: f64) {
+        let us = (ms * 1000.0).round().max(0.0) as u64;
+        self.histogram(component, name).record(us);
+    }
+
+    /// A deterministic point-in-time snapshot of every metric, sorted
+    /// by `(component, name)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSample> = self
+            .counters
+            .read()
+            .iter()
+            .map(|((component, name), c)| CounterSample {
+                component: component.clone(),
+                name: name.clone(),
+                value: c.value(),
+            })
+            .collect();
+        counters.sort_by(|a, b| (&a.component, &a.name).cmp(&(&b.component, &b.name)));
+        let mut histograms: Vec<HistogramSample> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|((component, name), h)| HistogramSample {
+                component: component.clone(),
+                name: name.clone(),
+                stats: h.sample(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| (&a.component, &a.name).cmp(&(&b.component, &b.name)));
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Drops every registered metric (handles held elsewhere keep their
+    /// values but are no longer reported).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+/// Point-in-time view of the whole registry, renderable as text or JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSample>,
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter's value by `component/name`.
+    pub fn counter(&self, component: &str, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.component == component && c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram's stats by `component/name`.
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&HistogramStats> {
+        self.histograms
+            .iter()
+            .find(|h| h.component == component && h.name == name)
+            .map(|h| &h.stats)
+    }
+
+    /// Human-readable table: one line per metric.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("metrics snapshot\n");
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for c in &self.counters {
+                out.push_str(&format!("    {}/{} = {}\n", c.component, c.name, c.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  histograms:\n");
+            for h in &self.histograms {
+                let s = &h.stats;
+                out.push_str(&format!(
+                    "    {}/{}: n={} mean={:.1} p50={} p95={} p99={} max={}\n",
+                    h.component,
+                    h.name,
+                    s.count,
+                    s.mean(),
+                    s.p50,
+                    s.p95,
+                    s.p99,
+                    s.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON export (`BENCH_*.json`-compatible object with `counters`
+    /// and `histograms` arrays).
+    pub fn to_json(&self) -> String {
+        use crate::json::{number, string};
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"component\": {}, \"name\": {}, \"value\": {}}}",
+                string(&c.component),
+                string(&c.name),
+                c.value
+            ));
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &h.stats;
+            out.push_str(&format!(
+                "\n    {{\"component\": {}, \"name\": {}, \"count\": {}, \"sum\": {}, \
+                 \"mean\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                string(&h.component),
+                string(&h.name),
+                s.count,
+                s.sum,
+                number(s.mean()),
+                s.min,
+                s.max,
+                s.p50,
+                s.p95,
+                s.p99
+            ));
+        }
+        out.push_str("\n  ]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_mapping_is_exact_below_linear_range() {
+        for v in 0..LINEAR_BUCKETS as u64 {
+            assert_eq!(bucket_upper(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_tight() {
+        for v in [64u64, 100, 1_000, 65_700, 1 << 32, u64::MAX] {
+            let i = bucket_of(v);
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            // ≤ ~6.7% relative error above the linear range.
+            assert!(
+                (upper - v) as f64 <= v as f64 / 15.0,
+                "bucket too wide for {v}: upper {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_uppers_are_strictly_increasing() {
+        for i in 1..BUCKETS {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_on_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.percentile(0.50), 50);
+        // 95 and 99 fall above the linear range boundary? No: < 64 is
+        // exact, 95 and 99 land in octave buckets.
+        assert!(h.percentile(0.95) >= 95);
+        assert!(h.percentile(0.99) >= 99);
+        assert!(h.percentile(1.0) >= h.percentile(0.99));
+    }
+
+    #[test]
+    fn counter_set_overwrites_total() {
+        let c = Counter::new();
+        c.add(41);
+        c.inc();
+        assert_eq!(c.value(), 42);
+        c.set(7);
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    fn registry_reuses_handles_and_snapshots_deterministically() {
+        let m = MetricsRegistry::new();
+        let a = m.counter("hns_cache", "hits");
+        let b = m.counter("hns_cache", "hits");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.add(3);
+        m.inc("hns_cache", "hits");
+        m.record_ms("hns_meta", "mapping1_ms", 32.9);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("hns_cache", "hits"), Some(4));
+        let hist = snap.histogram("hns_meta", "mapping1_ms").expect("hist");
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, 32_900);
+        // Deterministic ordering.
+        let snap2 = m.snapshot();
+        assert_eq!(snap, snap2);
+    }
+
+    #[test]
+    fn snapshot_json_parses_and_round_trips_values() {
+        let m = MetricsRegistry::new();
+        m.add("net", "remote_calls", 6);
+        m.record("hns", "find_nsm_round_trips_sequential", 6);
+        let json = m.snapshot().to_json();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let counters = v.get("counters").unwrap().as_array().unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].get("value").unwrap().as_u64(), Some(6));
+        let hists = v.get("histograms").unwrap().as_array().unwrap();
+        assert_eq!(hists[0].get("p50").unwrap().as_u64(), Some(6));
+    }
+
+    /// Satellite: N threads recording into one histogram yield exact
+    /// total counts — no lost updates.
+    #[test]
+    fn concurrent_histogram_records_are_exact() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t as u64 * 1_000 + (i % 97));
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().expect("join");
+        }
+        assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+        let bucket_total: u64 = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(bucket_total, THREADS as u64 * PER_THREAD);
+    }
+
+    /// Satellite: concurrent counter increments across threads are exact.
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50_000;
+        let m = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let c = m.counter("net", "remote_calls");
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().expect("join");
+        }
+        assert_eq!(
+            m.snapshot().counter("net", "remote_calls"),
+            Some(THREADS as u64 * PER_THREAD)
+        );
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Satellite: snapshot percentiles are monotone in p for
+            /// arbitrary sample sets.
+            #[test]
+            fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+                let h = Histogram::new();
+                for s in &samples {
+                    h.record(*s);
+                }
+                let ps = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+                let values: Vec<u64> = ps.iter().map(|p| h.percentile(*p)).collect();
+                for w in values.windows(2) {
+                    prop_assert!(w[0] <= w[1], "percentiles not monotone: {values:?}");
+                }
+                // p100 upper bound must cover the true max.
+                let max = *samples.iter().max().unwrap();
+                prop_assert!(values[ps.len() - 1] >= max);
+            }
+
+            /// Bucket upper bounds always cover the recorded value.
+            #[test]
+            fn bucket_upper_covers_value(v in any::<u64>()) {
+                prop_assert!(bucket_upper(bucket_of(v)) >= v);
+            }
+        }
+    }
+}

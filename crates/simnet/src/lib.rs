@@ -11,9 +11,10 @@
 //!   what makes a call local and effectively free.
 //! * [`costs`] — every calibrated constant, each traced to a measured
 //!   primitive in the paper.
-//! * [`trace`] — an event recorder used by the Figure 2.1 walkthrough.
+//! * [`trace`] — re-export of the [`obs`] span/event recorder used by the
+//!   Figure 2.1 walkthrough and the per-query flame breakdowns.
 //! * [`world`] — the shared environment (clock + topology + costs + trace +
-//!   structural counters).
+//!   structural counters + the unified [`obs::MetricsRegistry`]).
 //! * [`rng`] — a self-contained deterministic PRNG.
 //! * [`des`] — a small discrete-event/queueing core for the load ablation.
 //!
@@ -43,8 +44,10 @@ pub mod topology;
 pub mod trace;
 pub mod world;
 
+pub use obs;
+
 pub use clock::{Clock, VirtualClock};
 pub use costs::{CacheForm, CostModel, RpcSuiteKind};
 pub use time::{SimDuration, SimTime};
 pub use topology::{HostId, NetAddr, Topology};
-pub use world::{CounterSnapshot, World};
+pub use world::{CounterSnapshot, World, WorldSpan};

@@ -1,196 +1,15 @@
 //! Event tracing for experiment walkthroughs and debugging.
 //!
-//! The Figure 2.1 walkthrough (`examples/quickstart.rs`) renders the trace
-//! of a query so a reader can follow the client → HNS → NSM → name-service
-//! flow exactly as the paper's figure shows it.
+//! The actual machinery lives in the [`obs`] crate (so every crate in
+//! the workspace can share one tracer without depending on `simnet`);
+//! this module re-exports it. [`obs::Tracer`] records both flat
+//! walkthrough events (the Figure 2.1 rendering) and nested per-query
+//! spans; [`crate::world::World::span`] is the simulation-aware way to
+//! open a span, and [`crate::world::World::trace`] records an event at
+//! the current virtual instant.
+//!
+//! `obs` timestamps are raw `u64` microseconds and hosts are raw `u32`
+//! ids; [`crate::world::World`] converts from [`crate::time::SimTime`]
+//! and [`crate::topology::HostId`] at the recording boundary.
 
-use std::fmt;
-
-use parking_lot::Mutex;
-
-use crate::time::SimTime;
-use crate::topology::HostId;
-
-/// Classification of a trace event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TraceKind {
-    /// An RPC call departed or a reply arrived.
-    Rpc,
-    /// Cache hit/miss/insert/evict.
-    Cache,
-    /// An underlying name service performed work.
-    NameService,
-    /// A Naming Semantics Manager performed work.
-    Nsm,
-    /// HNS meta-naming work.
-    Hns,
-    /// Anything else.
-    Info,
-}
-
-impl fmt::Display for TraceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TraceKind::Rpc => "rpc",
-            TraceKind::Cache => "cache",
-            TraceKind::NameService => "ns",
-            TraceKind::Nsm => "nsm",
-            TraceKind::Hns => "hns",
-            TraceKind::Info => "info",
-        };
-        f.write_str(s)
-    }
-}
-
-/// One recorded event.
-#[derive(Debug, Clone)]
-pub struct TraceEvent {
-    /// Virtual instant of the event.
-    pub at: SimTime,
-    /// Host where the event occurred, if host-local.
-    pub host: Option<HostId>,
-    /// Classification.
-    pub kind: TraceKind,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.host {
-            Some(h) => write!(
-                f,
-                "[{:>10} {:>5} {}] {}",
-                self.at, self.kind, h, self.message
-            ),
-            None => write!(
-                f,
-                "[{:>10} {:>5}     ] {}",
-                self.at, self.kind, self.message
-            ),
-        }
-    }
-}
-
-/// A shared, optionally-enabled event recorder.
-#[derive(Debug, Default)]
-pub struct Tracer {
-    enabled: std::sync::atomic::AtomicBool,
-    events: Mutex<Vec<TraceEvent>>,
-}
-
-impl Tracer {
-    /// Creates a disabled tracer (recording is opt-in; experiments that
-    /// iterate thousands of operations leave it off).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Enables or disables recording.
-    pub fn set_enabled(&self, on: bool) {
-        self.enabled.store(on, std::sync::atomic::Ordering::SeqCst);
-    }
-
-    /// Returns whether recording is enabled.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled.load(std::sync::atomic::Ordering::SeqCst)
-    }
-
-    /// Records an event if enabled.
-    pub fn record(&self, at: SimTime, host: Option<HostId>, kind: TraceKind, message: String) {
-        if self.is_enabled() {
-            self.events.lock().push(TraceEvent {
-                at,
-                host,
-                kind,
-                message,
-            });
-        }
-    }
-
-    /// Returns a copy of all recorded events.
-    pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
-    }
-
-    /// Discards all recorded events.
-    pub fn clear(&self) {
-        self.events.lock().clear();
-    }
-
-    /// Number of recorded events.
-    pub fn len(&self) -> usize {
-        self.events.lock().len()
-    }
-
-    /// Returns true if no events are recorded.
-    pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
-    }
-
-    /// Renders all events, one per line.
-    pub fn render(&self) -> String {
-        let events = self.events.lock();
-        let mut out = String::new();
-        for e in events.iter() {
-            out.push_str(&e.to_string());
-            out.push('\n');
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn disabled_tracer_records_nothing() {
-        let t = Tracer::new();
-        t.record(SimTime::ZERO, None, TraceKind::Info, "x".into());
-        assert!(t.is_empty());
-    }
-
-    #[test]
-    fn enabled_tracer_records_in_order() {
-        let t = Tracer::new();
-        t.set_enabled(true);
-        t.record(SimTime::from_ms(1), None, TraceKind::Rpc, "call".into());
-        t.record(
-            SimTime::from_ms(2),
-            Some(HostId(3)),
-            TraceKind::Cache,
-            "hit".into(),
-        );
-        let events = t.snapshot();
-        assert_eq!(events.len(), 2);
-        assert_eq!(events[0].message, "call");
-        assert_eq!(events[1].host, Some(HostId(3)));
-        assert_eq!(t.len(), 2);
-    }
-
-    #[test]
-    fn clear_discards_events() {
-        let t = Tracer::new();
-        t.set_enabled(true);
-        t.record(SimTime::ZERO, None, TraceKind::Hns, "m".into());
-        t.clear();
-        assert!(t.is_empty());
-    }
-
-    #[test]
-    fn render_is_one_line_per_event() {
-        let t = Tracer::new();
-        t.set_enabled(true);
-        t.record(
-            SimTime::from_ms(5),
-            Some(HostId(0)),
-            TraceKind::Nsm,
-            "lookup".into(),
-        );
-        let rendered = t.render();
-        assert_eq!(rendered.lines().count(), 1);
-        assert!(rendered.contains("lookup"));
-        assert!(rendered.contains("nsm"));
-    }
-}
+pub use obs::trace::{CacheOutcome, QueryTrace, SpanId, SpanRecord, TraceEvent, TraceKind, Tracer};

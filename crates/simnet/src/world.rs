@@ -12,7 +12,8 @@ use crate::clock::{Clock, VirtualClock};
 use crate::costs::{CostModel, Ms};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{HostId, Topology};
-use crate::trace::{TraceKind, Tracer};
+use crate::trace::{CacheOutcome, SpanId, TraceKind, Tracer};
+use obs::MetricsRegistry;
 
 /// Global counters, useful for asserting the *structure* of operations
 /// (e.g. "a cold `FindNSM` makes exactly six remote data mappings").
@@ -58,9 +59,10 @@ pub struct World {
     pub topology: Topology,
     /// The calibrated cost constants.
     pub costs: CostModel,
-    /// Optional event recorder.
+    /// Optional event and span recorder.
     pub tracer: Tracer,
     counters: Counters,
+    metrics: MetricsRegistry,
 }
 
 impl World {
@@ -72,6 +74,7 @@ impl World {
             costs,
             tracer: Tracer::new(),
             counters: Counters::default(),
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -100,25 +103,78 @@ impl World {
         self.clock.advance(d);
     }
 
-    /// Records a trace event at the current instant.
+    /// Records a trace event at the current instant, attached to the
+    /// calling thread's current span (if any).
     pub fn trace(&self, host: Option<HostId>, kind: TraceKind, message: impl Into<String>) {
-        self.tracer.record(self.now(), host, kind, message.into());
+        self.tracer
+            .record(self.now().as_us(), host.map(|h| h.0), kind, message.into());
     }
 
-    /// Notes one remote (cross-host) call carrying `bytes` in total.
+    /// The unified metrics registry shared by every component in this
+    /// world.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Opens a per-query span ending (at the then-current virtual
+    /// instant) when the returned guard drops. A no-op with no
+    /// allocation beyond `name` when the tracer is disabled — use
+    /// [`World::span_lazy`] on hot paths to avoid even that.
+    pub fn span(
+        &self,
+        host: Option<HostId>,
+        kind: TraceKind,
+        name: impl Into<String>,
+    ) -> WorldSpan<'_> {
+        let id = self
+            .tracer
+            .begin_span(self.now().as_us(), host.map(|h| h.0), kind, name.into());
+        WorldSpan { world: self, id }
+    }
+
+    /// Like [`World::span`], but builds the name only when tracing is
+    /// enabled (hot paths call this so a disabled tracer costs nothing).
+    pub fn span_lazy(
+        &self,
+        host: Option<HostId>,
+        kind: TraceKind,
+        name: impl FnOnce() -> String,
+    ) -> WorldSpan<'_> {
+        if self.tracer.is_enabled() {
+            self.span(host, kind, name())
+        } else {
+            WorldSpan {
+                world: self,
+                id: None,
+            }
+        }
+    }
+
+    /// Annotates the calling thread's current span with a cache
+    /// outcome (no-op outside a span or with tracing disabled).
+    pub fn cache_outcome(&self, outcome: CacheOutcome) {
+        self.tracer.annotate_cache(outcome);
+    }
+
+    /// Notes one remote (cross-host) call carrying `bytes` in total,
+    /// mirrored into the `net` metrics component.
     pub fn count_remote_call(&self, bytes: u64) {
         self.counters.remote_calls.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.metrics.inc("net", "remote_calls");
+        self.metrics.add("net", "bytes_sent", bytes);
     }
 
     /// Notes one local (same-host) call.
     pub fn count_local_call(&self) {
         self.counters.local_calls.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc("net", "local_calls");
     }
 
     /// Notes one lookup served by an underlying name service.
     pub fn count_ns_lookup(&self) {
         self.counters.ns_lookups.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc("net", "ns_lookups");
     }
 
     /// Snapshot of all counters.
@@ -139,6 +195,39 @@ impl World {
         let took = self.now().since(t0);
         let delta = self.counters().since(&c0);
         (r, took, delta)
+    }
+}
+
+/// RAII guard for a per-query span opened by [`World::span`].
+///
+/// The span closes (at the virtual instant current *then*) when the
+/// guard drops, so early returns and `?` still produce well-formed
+/// spans. When tracing is disabled the guard is inert.
+#[derive(Debug)]
+pub struct WorldSpan<'w> {
+    world: &'w World,
+    id: Option<SpanId>,
+}
+
+impl WorldSpan<'_> {
+    /// The underlying span id, if tracing was enabled at open time.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Attributes `n` remote round trips to this span.
+    pub fn add_round_trips(&self, n: u64) {
+        if let Some(id) = self.id {
+            self.world.tracer.add_round_trips(id, n);
+        }
+    }
+}
+
+impl Drop for WorldSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.world.tracer.end_span(id, self.world.now().as_us());
+        }
     }
 }
 
@@ -189,6 +278,48 @@ mod tests {
         w.tracer.set_enabled(true);
         w.trace(None, TraceKind::Info, "hello");
         assert_eq!(w.tracer.len(), 1);
+    }
+
+    #[test]
+    fn span_guard_closes_at_drop_time() {
+        let w = World::paper();
+        w.tracer.set_enabled(true);
+        {
+            let span = w.span(Some(HostId(1)), TraceKind::Hns, "query");
+            span.add_round_trips(2);
+            w.charge_ms(5.0);
+            w.trace(None, TraceKind::Info, "inside");
+        }
+        let spans = w.tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "query");
+        assert_eq!(spans[0].host, Some(1));
+        assert_eq!(spans[0].round_trips, 2);
+        assert_eq!(spans[0].duration_us(), 5_000);
+        assert_eq!(w.tracer.snapshot()[0].span, Some(spans[0].id));
+    }
+
+    #[test]
+    fn span_lazy_skips_name_construction_when_disabled() {
+        let w = World::paper();
+        let span = w.span_lazy(None, TraceKind::Hns, || {
+            panic!("name built with tracing disabled")
+        });
+        assert!(span.id().is_none());
+        drop(span);
+        assert!(w.tracer.spans().is_empty());
+    }
+
+    #[test]
+    fn counters_mirror_into_metrics_registry() {
+        let w = World::paper();
+        w.count_remote_call(128);
+        w.count_remote_call(64);
+        w.count_local_call();
+        let snap = w.metrics().snapshot();
+        assert_eq!(snap.counter("net", "remote_calls"), Some(2));
+        assert_eq!(snap.counter("net", "bytes_sent"), Some(192));
+        assert_eq!(snap.counter("net", "local_calls"), Some(1));
     }
 
     #[test]

@@ -96,7 +96,7 @@ fn main() {
     world.tracer.set_enabled(false);
 
     println!("--- referral chain (three servers consulted) ---");
-    print!("{}", world.tracer.render());
+    print!("{}", world.tracer.render_tree());
     match &records[0].rdata {
         RData::Addr(addr) => println!(
             "\nresolved {target} -> {} in {:.1} ms over {} remote queries",

@@ -61,7 +61,7 @@ fn main() {
 
     // 5. The Figure 2.1 trace.
     println!("\n--- query processing trace (Figure 2.1) ---");
-    print!("{}", tb.world.tracer.render());
+    print!("{}", tb.world.tracer.render_tree());
     println!(
         "\nvirtual time elapsed: {:.1} ms; remote calls: {}",
         tb.world.now().as_ms_f64(),

@@ -1,0 +1,160 @@
+//! End-to-end observability: per-query span traces and the unified
+//! metrics registry, exercised through the full testbed.
+
+use std::sync::Arc;
+
+use hns_repro::hns_core::cache::CacheMode;
+use hns_repro::hns_core::name::HnsName;
+use hns_repro::hns_core::query::QueryClass;
+use hns_repro::nsms::harness::Testbed;
+use hns_repro::nsms::nsm_cache::NsmCacheForm;
+use hns_repro::simnet::trace::TraceKind;
+
+fn testbed_with_hns(
+    mode: CacheMode,
+) -> (Testbed, Arc<hns_repro::hns_core::Hns>, HnsName, QueryClass) {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Demarshalled);
+    let hns = tb.make_hns(tb.hosts.client, mode);
+    let name = HnsName::new(tb.ctx_bind(), "fiji.cs.washington.edu").expect("name");
+    (tb, hns, name, QueryClass::hrpc_binding())
+}
+
+#[test]
+fn find_nsm_report_counts_round_trips() {
+    let (_tb, hns, name, qc) = testbed_with_hns(CacheMode::Demarshalled);
+
+    hns.set_batching(false);
+    let (_, cold) = hns.find_nsm_report(&qc, &name).expect("cold");
+    assert_eq!(
+        cold.remote_round_trips, 6,
+        "cold sequential FindNSM performs the six cached remote data mappings"
+    );
+    assert!(!cold.batched);
+
+    let (_, warm) = hns.find_nsm_report(&qc, &name).expect("warm");
+    assert_eq!(warm.remote_round_trips, 0, "warm FindNSM stays local");
+
+    hns.clear_cache();
+    hns.set_batching(true);
+    let (_, batched) = hns.find_nsm_report(&qc, &name).expect("batched");
+    assert!(
+        batched.remote_round_trips <= 2,
+        "batched cold FindNSM is at most two round trips, saw {}",
+        batched.remote_round_trips
+    );
+    assert!(batched.batched);
+    assert!(batched.took < cold.took, "batching must also save time");
+}
+
+#[test]
+fn spans_nest_and_carry_cache_outcomes() {
+    let (tb, hns, name, qc) = testbed_with_hns(CacheMode::Demarshalled);
+    tb.world.tracer.set_enabled(true);
+    hns.set_batching(false);
+    hns.find_nsm(&qc, &name).expect("cold");
+    hns.find_nsm(&qc, &name).expect("warm");
+    tb.world.tracer.set_enabled(false);
+
+    let traces = tb.world.tracer.query_traces();
+    assert_eq!(traces.len(), 2, "one trace per FindNSM");
+    let cold = &traces[0];
+    assert!(cold
+        .root
+        .name
+        .starts_with("FindNSM(query class hrpcbinding"));
+    assert_eq!(cold.root.kind, TraceKind::Hns);
+    assert_eq!(cold.root.round_trips, 6);
+    assert!(
+        cold.spans.len() >= 7,
+        "root plus six mapping spans, got {}",
+        cold.spans.len()
+    );
+    let mapping_spans = cold
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("mapping "))
+        .count();
+    assert_eq!(mapping_spans, 6);
+    for s in &cold.spans {
+        if let Some(end) = s.end_us {
+            assert!(end >= s.start_us, "span {} ends before it starts", s.name);
+        }
+    }
+
+    let warm = &traces[1];
+    assert!(warm
+        .spans
+        .iter()
+        .any(|s| s.cache == Some(hns_repro::simnet::trace::CacheOutcome::Hit)));
+    assert!(warm.duration_us() < cold.duration_us());
+}
+
+#[test]
+fn metrics_registry_reflects_the_run() {
+    let (tb, hns, name, qc) = testbed_with_hns(CacheMode::Demarshalled);
+    hns.set_batching(false);
+    hns.find_nsm(&qc, &name).expect("cold");
+    hns.find_nsm(&qc, &name).expect("warm");
+    hns.export_metrics();
+    let snap = tb.world.metrics().snapshot();
+
+    assert_eq!(snap.counter("hns", "find_nsm_calls"), Some(2));
+    assert_eq!(snap.counter("hns", "find_nsm_errors"), Some(0));
+    assert!(snap.counter("net", "remote_calls").expect("net") >= 6);
+    assert!(snap.counter("hns_cache", "hits").expect("hits") > 0);
+    assert_eq!(snap.counter("nsm", "linked_calls"), Some(1));
+
+    let us = snap.histogram("hns", "find_nsm_us").expect("latency");
+    assert_eq!(us.count, 2);
+    assert!(us.p50 <= us.p95 && us.p95 <= us.p99);
+    for mapping in 1..=6 {
+        let h = snap
+            .histogram("hns_meta", &format!("mapping{mapping}_us"))
+            .unwrap_or_else(|| panic!("missing mapping{mapping}_us"));
+        assert!(h.count >= 1, "mapping {mapping} never measured");
+    }
+
+    let rt = snap
+        .histogram("hns", "find_nsm_round_trips_sequential")
+        .expect("round trips");
+    assert_eq!(rt.max, 6);
+    assert_eq!(rt.min, 0, "warm query is zero round trips");
+}
+
+#[test]
+fn snapshot_json_parses_and_matches() {
+    let (tb, hns, name, qc) = testbed_with_hns(CacheMode::Demarshalled);
+    hns.find_nsm(&qc, &name).expect("query");
+    hns.export_metrics();
+    let snap = tb.world.metrics().snapshot();
+    let v = hns_repro::hns_core::obs::json::parse(&snap.to_json()).expect("snapshot JSON");
+    let counters = v
+        .get("counters")
+        .and_then(|c| c.as_array())
+        .expect("counters array");
+    assert!(!counters.is_empty());
+    let remote = counters
+        .iter()
+        .find(|c| {
+            c.get("component").and_then(|s| s.as_str()) == Some("net")
+                && c.get("name").and_then(|s| s.as_str()) == Some("remote_calls")
+        })
+        .expect("net/remote_calls in JSON");
+    assert_eq!(
+        remote.get("value").and_then(|n| n.as_u64()),
+        Some(snap.counter("net", "remote_calls").expect("counter"))
+    );
+    assert!(v.get("histograms").and_then(|h| h.as_array()).is_some());
+}
+
+#[test]
+fn tracing_disabled_records_nothing() {
+    let (tb, hns, name, qc) = testbed_with_hns(CacheMode::Demarshalled);
+    hns.find_nsm(&qc, &name).expect("query");
+    assert!(
+        tb.world.tracer.is_empty(),
+        "disabled tracer must stay empty"
+    );
+    assert!(tb.world.tracer.spans().is_empty());
+}
