@@ -1,0 +1,160 @@
+//! Criterion bench: the sharded BIND TTL cache vs the seed's
+//! global-mutex design under multi-threaded load.
+//!
+//! `SeedTtlCache` below reproduces the pre-sharding implementation —
+//! one mutex around one `(name, rtype)`-keyed map, the record vector
+//! cloned out on every hit — so the comparison measures exactly what
+//! the redesign changed: shard-striped locking keyed by name, and
+//! `Arc`-shared record sets instead of per-hit deep clones. Each
+//! benchmark iteration fans N threads out over one shared cache doing
+//! warm gets on disjoint hot names; wall-clock time (`iter_custom`)
+//! captures the contention the virtual-time simulation ignores.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use bindns::cache::TtlCache;
+use bindns::name::DomainName;
+use bindns::rr::{RType, ResourceRecord};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use simnet::time::{SimDuration, SimTime};
+
+type SeedEntries = HashMap<(DomainName, RType), (Vec<ResourceRecord>, SimTime)>;
+
+/// The seed's cache: one mutex, one map, records cloned out per hit.
+struct SeedTtlCache {
+    entries: Mutex<SeedEntries>,
+}
+
+impl SeedTtlCache {
+    fn new() -> Self {
+        SeedTtlCache {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn insert(&self, now: SimTime, name: DomainName, rtype: RType, records: Vec<ResourceRecord>) {
+        let Some(min_ttl) = records.iter().map(|r| r.ttl).min() else {
+            return;
+        };
+        let expires = now + SimDuration::from_ms(u64::from(min_ttl) * 1000);
+        self.entries
+            .lock()
+            .insert((name, rtype), (records, expires));
+    }
+
+    fn get(&self, now: SimTime, name: &DomainName, rtype: RType) -> Option<Vec<ResourceRecord>> {
+        let mut entries = self.entries.lock();
+        let key = (name.clone(), rtype);
+        match entries.get(&key) {
+            Some((records, expires)) if *expires > now => Some(records.clone()),
+            Some(_) => {
+                entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+const KEYS_PER_THREAD: usize = 8;
+const GETS_PER_THREAD: usize = 2_000;
+
+fn hot_name(thread: usize, i: usize) -> DomainName {
+    DomainName::parse(&format!(
+        "host{}.dept{thread}.cs.washington.edu",
+        i % KEYS_PER_THREAD
+    ))
+    .expect("name")
+}
+
+fn payload(name: &DomainName) -> Vec<ResourceRecord> {
+    (0..4)
+        .map(|i| ResourceRecord::txt(name.clone(), 1 << 20, format!("payload {i}")))
+        .collect()
+}
+
+/// Runs `threads` workers hammering warm gets on disjoint name sets;
+/// returns total wall-clock time for `iters` repetitions.
+fn contended_run<F>(iters: u64, threads: usize, get: F) -> Duration
+where
+    F: Fn(usize, usize) + Send + Sync,
+{
+    let get = &get;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    for i in 0..GETS_PER_THREAD {
+                        get(t, i);
+                    }
+                });
+            }
+        });
+    }
+    start.elapsed()
+}
+
+fn bench_contended_gets(c: &mut Criterion) {
+    let now = SimTime::ZERO;
+    let mut group = c.benchmark_group("ttl_cache_contended_gets");
+    for &threads in &[1usize, 4, 8] {
+        let seed = SeedTtlCache::new();
+        for t in 0..threads {
+            for i in 0..KEYS_PER_THREAD {
+                let name = hot_name(t, i);
+                let records = payload(&name);
+                seed.insert(now, name, RType::Txt, records);
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("seed_global_mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    contended_run(iters, threads, |t, i| {
+                        black_box(seed.get(now, &hot_name(t, i), RType::Txt)).expect("warm hit");
+                    })
+                })
+            },
+        );
+
+        let sharded = TtlCache::new();
+        for t in 0..threads {
+            for i in 0..KEYS_PER_THREAD {
+                let name = hot_name(t, i);
+                let records = payload(&name);
+                sharded.insert(now, name, RType::Txt, records);
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    contended_run(iters, threads, |t, i| {
+                        black_box(sharded.get(now, &hot_name(t, i), RType::Txt)).expect("warm hit");
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_contended_gets
+}
+criterion_main!(benches);

@@ -8,13 +8,22 @@
 //! experiments table31 --trace    # also run the traced scenario
 //! experiments --trace-out t.json # write the traced run's JSON export
 //! experiments --validate-trace t.json   # parse a JSON export, exit 1 on error
+//! experiments loadgen --threads 1,2,4,8 --ops 2000 --out BENCH_throughput.json
+//! experiments --validate-load BENCH_throughput.json
 //! ```
 //!
 //! Experiment ids: `table31 table32 overhead comparison preload eq1
 //! figure21 mappings ablate-batching ablate-mappings ablate-ttl
 //! scalability ablate-rereg traced`.
+//!
+//! `loadgen` is the real-time load engine (E-L). It measures wall-clock
+//! throughput, so it is *not* part of `all` (whose outputs are
+//! deterministic virtual-time tables); run it explicitly. Knobs:
+//! `--threads a,b,c --ops N --duration-ms MS --zipf S --cold F --bind F
+//! --seed N --out PATH`.
 
 use hns_bench::experiments as exp;
+use hns_bench::loadgen;
 
 fn run_one(id: &str) -> Result<String, String> {
     let out = match id {
@@ -99,16 +108,64 @@ fn validate_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates an `hns-load-v1` throughput baseline.
+fn validate_load(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    loadgen::report::validate(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_or_die<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(value) = value else {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(1);
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: {flag}: cannot parse `{value}`");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<&str> = Vec::new();
     let mut trace = false;
     let mut trace_out: Option<String> = None;
     let mut validate: Option<String> = None;
+    let mut load = false;
+    let mut load_config = loadgen::LoadConfig::default();
+    let mut load_out: Option<String> = None;
+    let mut load_validate: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => trace = true,
+            "loadgen" => load = true,
+            "--threads" => {
+                let csv: String = parse_or_die("--threads", it.next());
+                load_config.threads = csv
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("error: --threads: cannot parse `{csv}`");
+                            std::process::exit(1);
+                        }
+                    })
+                    .collect();
+            }
+            "--ops" => load_config.ops_per_thread = parse_or_die("--ops", it.next()),
+            "--duration-ms" => {
+                load_config.duration_ms = Some(parse_or_die("--duration-ms", it.next()))
+            }
+            "--zipf" => load_config.zipf_s = parse_or_die("--zipf", it.next()),
+            "--cold" => load_config.cold_frac = parse_or_die("--cold", it.next()),
+            "--bind" => load_config.bind_frac = parse_or_die("--bind", it.next()),
+            "--seed" => load_config.seed = parse_or_die("--seed", it.next()),
+            "--out" => load_out = Some(parse_or_die("--out", it.next())),
+            "--validate-load" => load_validate = Some(parse_or_die("--validate-load", it.next())),
             "--trace-out" => match it.next() {
                 Some(path) => {
                     trace = true;
@@ -142,8 +199,20 @@ fn main() {
             }
         }
     }
+    if let Some(path) = load_validate {
+        match validate_load(&path) {
+            Ok(()) => {
+                println!("{path}: valid hns-load-v1 export");
+                return;
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
 
-    let ids: Vec<&str> = if ids.is_empty() && trace {
+    let ids: Vec<&str> = if ids.is_empty() && (trace || load) {
         Vec::new()
     } else if ids.is_empty() || ids.contains(&"all") {
         ALL.to_vec()
@@ -159,6 +228,20 @@ fn main() {
                 eprintln!("error: {err}");
                 eprintln!("known experiments: {}", ALL.join(" "));
                 failed = true;
+            }
+        }
+    }
+    if load {
+        println!("=== experiment: loadgen ===");
+        let rep = loadgen::run(&load_config);
+        println!("{}", rep.render());
+        if let Some(path) = load_out {
+            let json = rep.to_json();
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("error: write {path}: {e}");
+                failed = true;
+            } else {
+                println!("load JSON written to {path}");
             }
         }
     }

@@ -11,6 +11,7 @@
 
 pub mod cells;
 pub mod experiments;
+pub mod loadgen;
 pub mod scenario;
 
 pub use cells::{Cell, PaperTable, PlainTable};

@@ -1,0 +1,438 @@
+//! E-L — the real-time multi-threaded load engine.
+//!
+//! Everything else in this crate measures *virtual* time: one logical
+//! thread walks the stack and the clock advances by calibrated costs.
+//! This module measures the other axis — how many operations per second
+//! of *wall-clock* time the reproduction's stack sustains when many
+//! client threads drive it concurrently — which is what the hot-path
+//! contention work (sharded TTL cache, striped clock, snapshot-read
+//! tables, bounded reply-cache eviction) exists to improve.
+//!
+//! Each run builds one shared testbed (public BIND, Clearinghouse, meta
+//! BIND, NSMs), registers the same Zipf universe of departmental
+//! contexts the hit-ratio experiment uses, then spawns N closed-loop
+//! client threads. Per operation a thread draws a (context, query
+//! class) pair from the Zipf sampler and issues, by configured mix:
+//!
+//! * a **warm** `FindNSM` against a shared demarshalled-cache HNS
+//!   (the dominant, cache-hit path),
+//! * a **cold** `FindNSM` against a shared cache-disabled HNS (the full
+//!   meta-walk-every-time path), or
+//! * a full HRPC **bind** — `Import` = `FindNSM` plus a binding-NSM
+//!   call — for `hrpc_binding` pairs.
+//!
+//! Latency is the real elapsed time of the operation, recorded into an
+//! [`obs`](hns_core::obs) histogram; throughput is ops over wall time.
+//! Virtual-time numbers are unaffected: concurrency changes how fast
+//! the simulation *executes*, never what it *computes*.
+
+pub mod report;
+pub mod zipf;
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use hns_core::cache::CacheMode;
+use hns_core::colocation::HnsHandle;
+use hns_core::name::{Context, HnsName, NameMapping};
+use hns_core::obs::metrics::HistogramStats;
+use hns_core::obs::MetricsRegistry;
+use hns_core::query::QueryClass;
+use hns_core::service::Hns;
+use hrpc::ProgramId;
+use nsms::harness::{
+    Testbed, DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, NS_BIND, NS_CH, PRINT_SERVICE,
+    PRINT_SERVICE_PROGRAM,
+};
+use nsms::import::Importer;
+use nsms::nsm_cache::NsmCacheForm;
+use simnet::rng::DetRng;
+
+use crate::cells::PlainTable;
+use zipf::ZipfSampler;
+
+/// Distinct departmental contexts in the universe (same shape as the
+/// hit-ratio experiment: even ranks BIND-backed, odd Clearinghouse).
+const CONTEXTS: usize = 12;
+
+/// Load engine configuration (the `experiments -- loadgen` knobs).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Thread counts to sweep, one run per entry.
+    pub threads: Vec<usize>,
+    /// Closed-loop operations per thread per run.
+    pub ops_per_thread: u64,
+    /// Optional wall-clock cap per run; whichever of ops/duration is
+    /// reached first ends a thread's loop.
+    pub duration_ms: Option<u64>,
+    /// Zipf skew exponent over the context/class universe.
+    pub zipf_s: f64,
+    /// Fraction of operations issued cold (cache-disabled HNS).
+    pub cold_frac: f64,
+    /// Fraction of `hrpc_binding` operations that run a full `Import`.
+    pub bind_frac: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            threads: vec![1, 2, 4, 8],
+            ops_per_thread: 2_000,
+            duration_ms: None,
+            zipf_s: 1.0,
+            cold_frac: 0.05,
+            bind_frac: 0.30,
+            seed: 1987,
+        }
+    }
+}
+
+/// Result of one run (one thread count).
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Client threads driven.
+    pub threads: usize,
+    /// Operations completed across all threads.
+    pub ops: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Warm `FindNSM` operations.
+    pub warm_ops: u64,
+    /// Cold `FindNSM` operations.
+    pub cold_ops: u64,
+    /// Full `Import` operations.
+    pub bind_ops: u64,
+    /// Wall-clock seconds from barrier release to last worker done.
+    pub wall_secs: f64,
+    /// Operations per wall-clock second.
+    pub qps: f64,
+    /// Real per-operation latency distribution (microseconds).
+    pub latency_us: HistogramStats,
+    /// Warm HNS cache hits over the measured run.
+    pub hns_hits: u64,
+    /// Warm HNS cache misses over the measured run.
+    pub hns_misses: u64,
+    /// Warm HNS cache TTL expirations over the measured run.
+    pub hns_expired: u64,
+}
+
+/// A full sweep plus its configuration.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The configuration the sweep ran with.
+    pub config: LoadConfig,
+    /// Logical cores of the machine that produced it.
+    pub cores: usize,
+    /// One result per entry in `config.threads`.
+    pub runs: Vec<RunResult>,
+}
+
+/// One sampled operation, precomputed at setup so the hot loop only
+/// indexes and draws.
+struct Op {
+    qc: QueryClass,
+    name: HnsName,
+    /// `Some` for `hrpc_binding` pairs: the service to import.
+    bind: Option<(&'static str, ProgramId)>,
+}
+
+/// The shared per-run stack.
+struct Stack {
+    tb: Testbed,
+    warm: Arc<Hns>,
+    cold: Arc<Hns>,
+    ops: Vec<Op>,
+}
+
+fn build_stack(zipf_s: f64) -> (Stack, ZipfSampler) {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Demarshalled);
+    tb.deploy_extension_nsms(tb.hosts.nsm);
+
+    let registrar = tb.make_hns(tb.hosts.meta, CacheMode::Disabled);
+    let classes = [
+        QueryClass::hrpc_binding(),
+        QueryClass::mailbox_location(),
+        QueryClass::file_location(),
+    ];
+    let mut ops = Vec::new();
+    for i in 0..CONTEXTS {
+        let (ns, individual, bind) = if i % 2 == 0 {
+            (
+                NS_BIND,
+                "fiji.cs.washington.edu",
+                (DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM),
+            )
+        } else {
+            (
+                NS_CH,
+                "printserver:cs:uw",
+                (PRINT_SERVICE, PRINT_SERVICE_PROGRAM),
+            )
+        };
+        let ctx = Context::new(format!(
+            "dept{i}-{}",
+            if i % 2 == 0 { "bind" } else { "ch" }
+        ))
+        .expect("ctx");
+        registrar
+            .register_context(&ctx, ns, &NameMapping::Identity)
+            .expect("register");
+        for (ci, qc) in classes.iter().enumerate() {
+            ops.push(Op {
+                qc: qc.clone(),
+                name: HnsName::new(ctx.clone(), individual).expect("name"),
+                // classes[0] is hrpc_binding — the importable pairs.
+                bind: (ci == 0).then_some(bind),
+            });
+        }
+    }
+
+    let warm = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    let cold = tb.make_hns(tb.hosts.client, CacheMode::Disabled);
+
+    // Pre-warm: one FindNSM per pair fills the warm cache; one Import
+    // per binding pair warms the binding NSMs' own caches.
+    let importer = Importer::new(
+        Arc::clone(&tb.net),
+        tb.hosts.client,
+        HnsHandle::Linked(Arc::clone(&warm)),
+    );
+    for op in &ops {
+        warm.find_nsm(&op.qc, &op.name).expect("pre-warm FindNSM");
+        if let Some((service, program)) = op.bind {
+            importer
+                .import(service, program, &op.name)
+                .expect("pre-warm Import");
+        }
+    }
+
+    let sampler = ZipfSampler::new(ops.len(), zipf_s);
+    (
+        Stack {
+            tb,
+            warm,
+            cold,
+            ops,
+        },
+        sampler,
+    )
+}
+
+/// Runs one thread count against a freshly built stack.
+fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
+    let (stack, sampler) = build_stack(config.zipf_s);
+    let metrics = MetricsRegistry::new();
+    let latency = metrics.histogram("loadgen", "op_latency_us");
+    let ops_ctr = metrics.counter("loadgen", "ops");
+    let err_ctr = metrics.counter("loadgen", "errors");
+    let warm_ctr = metrics.counter("loadgen", "warm_ops");
+    let cold_ctr = metrics.counter("loadgen", "cold_ops");
+    let bind_ctr = metrics.counter("loadgen", "bind_ops");
+
+    let hns0 = stack.warm.cache_stats();
+    let barrier = Barrier::new(threads + 1);
+    let mut master = DetRng::new(config.seed ^ ((threads as u64) << 32));
+    let ops_per_thread = config.ops_per_thread;
+    let duration_ms = config.duration_ms;
+    let cold_frac = config.cold_frac;
+    let bind_frac = config.bind_frac;
+
+    // Workers spawn and park on the barrier, which releases the moment
+    // the main thread (the final waiter) arrives — so the timestamp
+    // taken just *before* main waits marks the release to within the
+    // barrier's own overhead. (Stamping after `wait` returns is racy:
+    // on a loaded machine the workers can drain the whole run before
+    // main is rescheduled.) `scope` returning means every worker has
+    // finished, so `started.elapsed()` is the run's wall time.
+    let mut started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let mut rng = master.fork();
+            let sampler = &sampler;
+            let stack = &stack;
+            let barrier = &barrier;
+            let latency = Arc::clone(&latency);
+            let ops_ctr = Arc::clone(&ops_ctr);
+            let err_ctr = Arc::clone(&err_ctr);
+            let warm_ctr = Arc::clone(&warm_ctr);
+            let cold_ctr = Arc::clone(&cold_ctr);
+            let bind_ctr = Arc::clone(&bind_ctr);
+            let importer = Importer::new(
+                Arc::clone(&stack.tb.net),
+                stack.tb.hosts.client,
+                HnsHandle::Linked(Arc::clone(&stack.warm)),
+            );
+            scope.spawn(move || {
+                barrier.wait();
+                let deadline = duration_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                for _ in 0..ops_per_thread {
+                    if let Some(deadline) = deadline {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                    }
+                    let op = &stack.ops[sampler.sample(&mut rng)];
+                    let cold = rng.chance(cold_frac);
+                    let bind = !cold && op.bind.is_some() && rng.chance(bind_frac);
+                    let t0 = Instant::now();
+                    let failed = if cold {
+                        cold_ctr.inc();
+                        stack.cold.find_nsm(&op.qc, &op.name).is_err()
+                    } else if bind {
+                        bind_ctr.inc();
+                        let (service, program) = op.bind.expect("bind op");
+                        importer.import(service, program, &op.name).is_err()
+                    } else {
+                        warm_ctr.inc();
+                        stack.warm.find_nsm(&op.qc, &op.name).is_err()
+                    };
+                    latency.record(t0.elapsed().as_micros() as u64);
+                    ops_ctr.inc();
+                    if failed {
+                        err_ctr.inc();
+                    }
+                }
+            });
+        }
+        started = Instant::now();
+        barrier.wait();
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let hns1 = stack.warm.cache_stats();
+    let snap = metrics.snapshot();
+    let ops = snap.counter("loadgen", "ops").unwrap_or(0);
+    RunResult {
+        threads,
+        ops,
+        errors: snap.counter("loadgen", "errors").unwrap_or(0),
+        warm_ops: snap.counter("loadgen", "warm_ops").unwrap_or(0),
+        cold_ops: snap.counter("loadgen", "cold_ops").unwrap_or(0),
+        bind_ops: snap.counter("loadgen", "bind_ops").unwrap_or(0),
+        wall_secs,
+        qps: if wall_secs > 0.0 {
+            ops as f64 / wall_secs
+        } else {
+            0.0
+        },
+        latency_us: snap
+            .histogram("loadgen", "op_latency_us")
+            .copied()
+            .unwrap_or(HistogramStats {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+            }),
+        hns_hits: hns1.hits - hns0.hits,
+        hns_misses: hns1.misses - hns0.misses,
+        hns_expired: hns1.expired - hns0.expired,
+    }
+}
+
+/// Runs the full sweep: one fresh stack and one measured run per entry
+/// in `config.threads`.
+pub fn run(config: &LoadConfig) -> LoadReport {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let runs = config
+        .threads
+        .iter()
+        .map(|&t| run_once(config, t))
+        .collect();
+    LoadReport {
+        config: config.clone(),
+        cores,
+        runs,
+    }
+}
+
+impl LoadReport {
+    /// Renders the sweep as a table.
+    pub fn render(&self) -> String {
+        let mut table = PlainTable::new(
+            format!(
+                "E-L — multi-threaded load engine: closed-loop FindNSM + bind \
+                 traffic, Zipf(s={}) over {} pairs, {:.0}% cold / {:.0}% bind, \
+                 {} ops/thread ({} cores)",
+                self.config.zipf_s,
+                CONTEXTS * 3,
+                self.config.cold_frac * 100.0,
+                self.config.bind_frac * 100.0,
+                self.config.ops_per_thread,
+                self.cores
+            ),
+            vec![
+                "threads", "ops", "errors", "wall (s)", "QPS", "p50 (us)", "p95 (us)", "p99 (us)",
+            ],
+        );
+        for r in &self.runs {
+            table.push_row(vec![
+                r.threads.to_string(),
+                r.ops.to_string(),
+                r.errors.to_string(),
+                format!("{:.3}", r.wall_secs),
+                format!("{:.0}", r.qps),
+                r.latency_us.p50.to_string(),
+                r.latency_us.p95.to_string(),
+                r.latency_us.p99.to_string(),
+            ]);
+        }
+        table.render()
+    }
+
+    /// The `hns-load-v1` JSON document for this sweep.
+    pub fn to_json(&self) -> String {
+        report::to_json(&self.config, self.cores, &self.runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_two_threads_accounting_is_exact() {
+        let config = LoadConfig {
+            threads: vec![2],
+            ops_per_thread: 150,
+            ..LoadConfig::default()
+        };
+        let rep = run(&config);
+        assert_eq!(rep.runs.len(), 1);
+        let r = &rep.runs[0];
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.ops, 300, "closed loop completes every op");
+        assert_eq!(r.errors, 0, "no operation fails on the testbed");
+        assert_eq!(r.warm_ops + r.cold_ops + r.bind_ops, r.ops);
+        assert_eq!(r.latency_us.count, r.ops);
+        assert!(r.wall_secs > 0.0 && r.qps > 0.0);
+        assert!(r.warm_ops > 0, "warm path dominates the mix");
+        assert!(
+            r.hns_hits > 0,
+            "pre-warmed shared cache serves the warm path"
+        );
+        report::validate(&rep.to_json()).expect("export validates");
+        let rendered = rep.render();
+        assert!(rendered.contains("QPS"), "{rendered}");
+    }
+
+    #[test]
+    fn duration_cap_stops_early() {
+        let config = LoadConfig {
+            threads: vec![1],
+            ops_per_thread: u64::MAX,
+            duration_ms: Some(50),
+            ..LoadConfig::default()
+        };
+        let rep = run(&config);
+        let r = &rep.runs[0];
+        assert!(r.ops > 0);
+        assert!(r.wall_secs < 30.0, "cap bounded the run");
+    }
+}

@@ -1,0 +1,152 @@
+//! JSON export of a load sweep (`hns-load-v1`).
+
+use hns_core::obs::json;
+use hns_core::obs::metrics::HistogramStats;
+
+use super::{LoadConfig, RunResult};
+
+fn stats_json(s: &HistogramStats) -> String {
+    format!(
+        "{{\"count\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \
+         \"p99\": {}, \"mean\": {}}}",
+        s.count,
+        s.min,
+        s.max,
+        s.p50,
+        s.p95,
+        s.p99,
+        json::number(s.mean())
+    )
+}
+
+fn run_json(r: &RunResult) -> String {
+    format!(
+        "{{\"threads\": {}, \"ops\": {}, \"errors\": {}, \"wall_secs\": {}, \
+         \"qps\": {}, \"warm_ops\": {}, \"cold_ops\": {}, \"bind_ops\": {}, \
+         \"latency_us\": {}, \
+         \"hns_cache\": {{\"hits\": {}, \"misses\": {}, \"expired\": {}}}}}",
+        r.threads,
+        r.ops,
+        r.errors,
+        json::number(r.wall_secs),
+        json::number(r.qps),
+        r.warm_ops,
+        r.cold_ops,
+        r.bind_ops,
+        stats_json(&r.latency_us),
+        r.hns_hits,
+        r.hns_misses,
+        r.hns_expired,
+    )
+}
+
+/// Renders the whole sweep as an `hns-load-v1` JSON document.
+pub fn to_json(config: &LoadConfig, cores: usize, runs: &[RunResult]) -> String {
+    let runs_json: Vec<String> = runs.iter().map(run_json).collect();
+    format!(
+        "{{\n  \"schema\": \"hns-load-v1\",\n  \"host\": {{\"cores\": {cores}}},\n  \
+         \"config\": {{\"ops_per_thread\": {}, \"duration_ms\": {}, \"zipf_s\": {}, \
+         \"cold_frac\": {}, \"bind_frac\": {}, \"seed\": {}}},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        config.ops_per_thread,
+        config
+            .duration_ms
+            .map_or("null".to_string(), |d| d.to_string()),
+        json::number(config.zipf_s),
+        json::number(config.cold_frac),
+        json::number(config.bind_frac),
+        config.seed,
+        runs_json.join(",\n    "),
+    )
+}
+
+/// Validates an `hns-load-v1` document: schema tag, non-empty `runs`,
+/// and the per-run fields the baseline consumers read.
+pub fn validate(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("parse error: {e}"))?;
+    if v.get("schema").and_then(|s| s.as_str()) != Some("hns-load-v1") {
+        return Err("missing or unexpected `schema`".into());
+    }
+    if v.get("host").and_then(|h| h.get("cores")).is_none() {
+        return Err("missing `host.cores`".into());
+    }
+    let runs = v
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .ok_or("missing `runs` array")?;
+    if runs.is_empty() {
+        return Err("no runs in export".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for field in ["threads", "ops", "qps"] {
+            if run.get(field).is_none() {
+                return Err(format!("run {i}: missing `{field}`"));
+            }
+        }
+        let lat = run.get("latency_us").ok_or("missing `latency_us`")?;
+        for field in ["p50", "p95", "p99"] {
+            if lat.get(field).is_none() {
+                return Err(format!("run {i}: latency_us missing `{field}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> RunResult {
+        RunResult {
+            threads: 2,
+            ops: 1000,
+            errors: 0,
+            warm_ops: 900,
+            cold_ops: 50,
+            bind_ops: 50,
+            wall_secs: 0.5,
+            qps: 2000.0,
+            latency_us: HistogramStats {
+                count: 1000,
+                sum: 500_000,
+                min: 100,
+                max: 9000,
+                p50: 400,
+                p95: 2000,
+                p99: 5000,
+            },
+            hns_hits: 800,
+            hns_misses: 100,
+            hns_expired: 10,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_validate() {
+        let cfg = LoadConfig::default();
+        let doc = to_json(&cfg, 8, &[sample_run()]);
+        validate(&doc).expect("valid export");
+        let v = json::parse(&doc).expect("parses");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("hns-load-v1")
+        );
+        let runs = v.get("runs").and_then(|r| r.as_array()).expect("runs");
+        assert_eq!(runs[0].get("threads").and_then(|t| t.as_u64()), Some(2));
+        assert_eq!(
+            runs[0]
+                .get("latency_us")
+                .and_then(|l| l.get("p99"))
+                .and_then(|p| p.as_u64()),
+            Some(5000)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema_and_empty_runs() {
+        assert!(validate("{\"schema\": \"other\"}").is_err());
+        let cfg = LoadConfig::default();
+        let empty = to_json(&cfg, 1, &[]);
+        assert!(validate(&empty).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Zipf-skewed sampling over a fixed universe.
+
+use simnet::rng::DetRng;
+
+/// Inverse-CDF sampler with weights `1/(rank+1)^s`, precomputed so a
+/// sample is one RNG draw plus a binary search (the per-op hot path of
+/// the load engine — the experiment-harness version of this sampler
+/// walks the weights linearly per draw, which is fine at 150 calls but
+/// not at hundreds of thousands).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with skew exponent `s` (`s = 0`
+    /// is uniform; `s = 1` the classic Zipf the hit-ratio experiment
+    /// uses).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the universe is empty (never: `new` rejects `n = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let x = rng.next_f64();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_draws_prefer_low_ranks() {
+        let z = ZipfSampler::new(36, 1.0);
+        let mut rng = DetRng::new(7);
+        let mut counts = vec![0u64; 36];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[30]);
+        assert_eq!(counts.iter().sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = DetRng::new(7);
+        let mut counts = vec![0u64; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let z = ZipfSampler::new(12, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = DetRng::new(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = DetRng::new(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! Byte-exact determinism of the flagship virtual-time experiment.
+//!
+//! The golden file is the committed stdout of `experiments table31`.
+//! Every run — regardless of thread count, machine, or the real-time
+//! load engine's concurrency work — must reproduce it exactly: the
+//! virtual-time results are a function of the cost model and the seed,
+//! nothing else. If a hot-path change (cache sharding, clock striping,
+//! snapshot reads) perturbs this output by even one byte, it changed
+//! simulation semantics, not just performance, and this test fails.
+
+use hns_bench::experiments as exp;
+
+#[test]
+fn table31_matches_committed_golden_output() {
+    let rendered = format!(
+        "=== experiment: table31 ===\n{}\n",
+        exp::table31::run().render()
+    );
+    let golden = include_str!("../golden/table31.txt");
+    assert!(
+        rendered == golden,
+        "table31 output diverged from golden/table31.txt\n--- golden ---\n{golden}\n--- got ---\n{rendered}"
+    );
+}
+
+#[test]
+fn table31_is_stable_across_repeated_runs_in_process() {
+    let a = exp::table31::run().render();
+    let b = exp::table31::run().render();
+    assert_eq!(a, b);
+}

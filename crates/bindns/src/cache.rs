@@ -4,14 +4,30 @@
 //! While this simplistic mechanism can cause cache consistency problems, it
 //! would not make sense to use a more sophisticated scheme because the
 //! source of our cached data (BIND) also uses this mechanism."
+//!
+//! The cache is lock-striped: entries hash (by owner name) to one of
+//! [`SHARD_COUNT`] independently-locked shards, statistics are plain
+//! atomics, and a hit hands back an `Arc`-shared record set. The seed
+//! design took two global locks per lookup (entries, then stats) and
+//! cloned both the key and the record vector on every hit, which
+//! serialized concurrent resolvers; the sharded layout keeps lookups
+//! from different threads on different locks and makes hits
+//! allocation-free.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use simnet::obs::MetricsRegistry;
 use simnet::time::{SimDuration, SimTime};
 
 use crate::name::DomainName;
 use crate::rr::{RType, ResourceRecord};
+
+/// Shard count; power of two.
+const SHARD_COUNT: usize = 16;
 
 /// Hit/miss statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,17 +52,42 @@ impl CacheStats {
     }
 }
 
+/// Atomic counterpart of [`CacheStats`]: one relaxed add per lookup
+/// outcome instead of a second mutex acquisition.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expirations: AtomicU64,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
-    records: Vec<ResourceRecord>,
+    records: Arc<[ResourceRecord]>,
     expires_at: SimTime,
 }
 
-/// A TTL-invalidated record cache.
-#[derive(Debug, Default)]
+/// One shard: owner name → the record sets cached under it, one per
+/// type. Keying the map by name alone lets `get` probe with the
+/// caller's borrowed [`DomainName`] — no key clone on the read path.
+/// The per-name type list is short (a handful of record types), so a
+/// linear scan beats a second hash.
+type Shard = HashMap<DomainName, Vec<(RType, Entry)>>;
+
+/// A TTL-invalidated record cache, lock-striped for concurrent readers.
+#[derive(Debug)]
 pub struct TtlCache {
-    entries: Mutex<HashMap<(DomainName, RType), Entry>>,
-    stats: Mutex<CacheStats>,
+    shards: Vec<Mutex<Shard>>,
+    stats: AtomicStats,
+}
+
+impl Default for TtlCache {
+    fn default() -> Self {
+        TtlCache {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::new())).collect(),
+            stats: AtomicStats::default(),
+        }
+    }
 }
 
 impl TtlCache {
@@ -55,31 +96,43 @@ impl TtlCache {
         Self::default()
     }
 
+    fn shard_of(&self, name: &DomainName) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[h.finish() as usize & (SHARD_COUNT - 1)]
+    }
+
     /// Looks up live records for (`name`, `rtype`) at virtual time `now`.
+    ///
+    /// Hits share the stored record set (`Arc` clone, no per-record
+    /// clone); an entry observed past its TTL is evicted and counted as
+    /// both a miss and an expiration.
     pub fn get(
         &self,
         now: SimTime,
         name: &DomainName,
         rtype: RType,
-    ) -> Option<Vec<ResourceRecord>> {
-        let mut entries = self.entries.lock();
-        let key = (name.clone(), rtype);
-        match entries.get(&key) {
-            Some(entry) if entry.expires_at > now => {
-                self.stats.lock().hits += 1;
-                Some(entry.records.clone())
+    ) -> Option<Arc<[ResourceRecord]>> {
+        let mut shard = self.shard_of(name).lock();
+        let Some(sets) = shard.get_mut(name) else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let Some(i) = sets.iter().position(|(t, _)| *t == rtype) else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if sets[i].1.expires_at > now {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            Some(Arc::clone(&sets[i].1.records))
+        } else {
+            sets.swap_remove(i);
+            if sets.is_empty() {
+                shard.remove(name);
             }
-            Some(_) => {
-                entries.remove(&key);
-                let mut stats = self.stats.lock();
-                stats.misses += 1;
-                stats.expirations += 1;
-                None
-            }
-            None => {
-                self.stats.lock().misses += 1;
-                None
-            }
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.expirations.fetch_add(1, Ordering::Relaxed);
+            None
         }
     }
 
@@ -92,44 +145,69 @@ impl TtlCache {
         now: SimTime,
         name: DomainName,
         rtype: RType,
-        records: Vec<ResourceRecord>,
+        records: impl Into<Arc<[ResourceRecord]>>,
     ) {
+        let records = records.into();
         let Some(min_ttl) = records.iter().map(|r| r.ttl).min() else {
             return;
         };
         let expires_at = now + SimDuration::from_ms(u64::from(min_ttl) * 1000);
-        self.entries.lock().insert(
-            (name, rtype),
-            Entry {
-                records,
-                expires_at,
-            },
-        );
+        let entry = Entry {
+            records,
+            expires_at,
+        };
+        let mut shard = self.shard_of(&name).lock();
+        let sets = shard.entry(name).or_default();
+        match sets.iter_mut().find(|(t, _)| *t == rtype) {
+            Some((_, existing)) => *existing = entry,
+            None => sets.push((rtype, entry)),
+        }
     }
 
     /// Removes everything.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 
     /// Number of entries (live or not yet observed as expired).
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// True if the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            expirations: self.stats.expirations.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets statistics (e.g. between experiment trials).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = CacheStats::default();
+        self.stats.hits.store(0, Ordering::Relaxed);
+        self.stats.misses.store(0, Ordering::Relaxed);
+        self.stats.expirations.store(0, Ordering::Relaxed);
+    }
+
+    /// Publishes the cache's statistics into `metrics` under `component`
+    /// (snapshot-time export, like the HNS cache).
+    pub fn export_metrics(&self, metrics: &MetricsRegistry, component: &str) {
+        let stats = self.stats();
+        metrics.set_counter(component, "hits", stats.hits);
+        metrics.set_counter(component, "misses", stats.misses);
+        metrics.set_counter(component, "expirations", stats.expirations);
+        metrics.set_counter(component, "entries", self.len() as u64);
     }
 }
 
@@ -155,6 +233,19 @@ mod tests {
         assert_eq!(got.expect("hit").len(), 1);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hits_share_one_record_set() {
+        let c = TtlCache::new();
+        let t0 = SimTime::ZERO;
+        c.insert(t0, name("a.b"), RType::A, vec![rr(60)]);
+        let first = c.get(t0, &name("a.b"), RType::A).expect("hit");
+        let second = c.get(t0, &name("a.b"), RType::A).expect("hit");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hits must share the stored Arc, not clone records"
+        );
     }
 
     #[test]
@@ -213,5 +304,99 @@ mod tests {
         c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(60)]);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_entry_not_duplicates() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(60)]);
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(30), rr(30)]);
+        assert_eq!(c.len(), 1);
+        let got = c.get(SimTime::ZERO, &name("a.b"), RType::A).expect("hit");
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn export_metrics_publishes_stats() {
+        let m = MetricsRegistry::new();
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(1)]);
+        let _ = c.get(SimTime::ZERO, &name("a.b"), RType::A); // hit
+        let _ = c.get(SimTime::from_ms(2_000), &name("a.b"), RType::A); // expired
+        let _ = c.get(SimTime::ZERO, &name("x.y"), RType::A); // miss
+        c.export_metrics(&m, "bindns_cache");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("bindns_cache", "hits"), Some(1));
+        assert_eq!(snap.counter("bindns_cache", "misses"), Some(2));
+        assert_eq!(snap.counter("bindns_cache", "expirations"), Some(1));
+        assert_eq!(snap.counter("bindns_cache", "entries"), Some(0));
+    }
+
+    /// Satellite: 8 threads × >10k ops each over the sharded cache; the
+    /// atomic hit/miss/expiration totals must come out exact (the
+    /// scripted per-thread workload has known counts, so any lost update
+    /// or double count shows up as a wrong total).
+    #[test]
+    fn stress_totals_are_exact_across_threads() {
+        const THREADS: u64 = 8;
+        const WARM_KEYS: u64 = 100;
+        const HIT_GETS: u64 = 5_000;
+        const MISS_GETS: u64 = 5_000;
+        const EXPIRING: u64 = 1_000;
+
+        let c = Arc::new(TtlCache::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let t0 = SimTime::ZERO;
+                    // Warm keys, hit repeatedly while live.
+                    for k in 0..WARM_KEYS {
+                        c.insert(
+                            t0,
+                            name(&format!("warm{k}.t{t}.edu")),
+                            RType::A,
+                            vec![rr(60)],
+                        );
+                    }
+                    for i in 0..HIT_GETS {
+                        let k = i % WARM_KEYS;
+                        assert!(c
+                            .get(t0, &name(&format!("warm{k}.t{t}.edu")), RType::A)
+                            .is_some());
+                    }
+                    // Absent keys miss.
+                    for i in 0..MISS_GETS {
+                        assert!(c
+                            .get(t0, &name(&format!("ghost{i}.t{t}.edu")), RType::A)
+                            .is_none());
+                    }
+                    // Short-TTL keys observed after expiry.
+                    for k in 0..EXPIRING {
+                        c.insert(
+                            t0,
+                            name(&format!("short{k}.t{t}.edu")),
+                            RType::A,
+                            vec![rr(1)],
+                        );
+                    }
+                    let late = SimTime::from_ms(5_000);
+                    for k in 0..EXPIRING {
+                        assert!(c
+                            .get(late, &name(&format!("short{k}.t{t}.edu")), RType::A)
+                            .is_none());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread panicked");
+        }
+        let stats = c.stats();
+        assert_eq!(stats.hits, THREADS * HIT_GETS);
+        assert_eq!(stats.misses, THREADS * (MISS_GETS + EXPIRING));
+        assert_eq!(stats.expirations, THREADS * EXPIRING);
+        // Expired entries were evicted; only the warm keys remain.
+        assert_eq!(c.len(), (THREADS * WARM_KEYS) as usize);
     }
 }

@@ -80,7 +80,7 @@ impl RecursiveResolver {
     }
 
     /// Resolves `name`/`rtype`, chasing up to [`MAX_REFERRALS`] referrals.
-    pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Vec<ResourceRecord>> {
+    pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Arc<[ResourceRecord]>> {
         let world = Arc::clone(self.net.world());
         world.charge_ms(world.costs.cache_probe);
         if let Some(records) = self.cache.get(world.now(), name, rtype) {
@@ -100,14 +100,16 @@ impl RecursiveResolver {
                     server = self.next_server(&answer.records)?;
                 }
                 _ => {
-                    let records = answer.into_result(&question).map_err(|e| match e {
-                        crate::error::NsError::NameError(n) | crate::error::NsError::NoData(n) => {
-                            RpcError::NotFound(n)
-                        }
-                        other => RpcError::Service(other.to_string()),
-                    })?;
+                    let records: Arc<[ResourceRecord]> = answer
+                        .into_result(&question)
+                        .map_err(|e| match e {
+                            crate::error::NsError::NameError(n)
+                            | crate::error::NsError::NoData(n) => RpcError::NotFound(n),
+                            other => RpcError::Service(other.to_string()),
+                        })?
+                        .into();
                     self.cache
-                        .insert(world.now(), name.clone(), rtype, records.clone());
+                        .insert(world.now(), name.clone(), rtype, Arc::clone(&records));
                     return Ok(records);
                 }
             }

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use simnet::obs::{LazyCounter, LazyHistogram, MetricsRegistry};
 use simnet::topology::HostId;
 use simnet::world::World;
 
@@ -30,6 +31,9 @@ pub struct StdResolver {
     host: HostId,
     server: HrpcBinding,
     cache: TtlCache,
+    cache_hits: LazyCounter,
+    queries: LazyCounter,
+    query_us: LazyHistogram,
 }
 
 impl StdResolver {
@@ -40,6 +44,9 @@ impl StdResolver {
             host,
             server,
             cache: TtlCache::new(),
+            cache_hits: LazyCounter::new(),
+            queries: LazyCounter::new(),
+            query_us: LazyHistogram::new(),
         }
     }
 
@@ -47,12 +54,15 @@ impl StdResolver {
         self.net.world()
     }
 
-    /// Queries, consulting the cache first.
-    pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Vec<ResourceRecord>> {
+    /// Queries, consulting the cache first. Hits share the cached
+    /// record set (`Arc`), so the hot path allocates nothing.
+    pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Arc<[ResourceRecord]>> {
         let world = Arc::clone(self.world());
         world.charge_ms(world.costs.cache_probe);
         if let Some(records) = self.cache.get(world.now(), name, rtype) {
-            world.metrics().inc("bind_resolver", "std_cache_hits");
+            self.cache_hits
+                .get(world.metrics(), "bind_resolver", "std_cache_hits")
+                .inc();
             world.charge_ms(
                 world
                     .costs
@@ -60,9 +70,9 @@ impl StdResolver {
             );
             return Ok(records);
         }
-        let records = self.query_uncached(name, rtype)?;
+        let records: Arc<[ResourceRecord]> = self.query_uncached(name, rtype)?.into();
         self.cache
-            .insert(world.now(), name.clone(), rtype, records.clone());
+            .insert(world.now(), name.clone(), rtype, Arc::clone(&records));
         Ok(records)
     }
 
@@ -73,7 +83,9 @@ impl StdResolver {
         rtype: RType,
     ) -> RpcResult<Vec<ResourceRecord>> {
         let t0 = self.world().now();
-        self.world().metrics().inc("bind_resolver", "std_queries");
+        self.queries
+            .get(self.world().metrics(), "bind_resolver", "std_queries")
+            .inc();
         let question = Question::new(name.clone(), rtype);
         let reply = self
             .net
@@ -84,11 +96,9 @@ impl StdResolver {
         let _wire = answer.to_fast_bytes().map_err(RpcError::Wire)?;
         let world = self.world();
         world.charge_ms(world.costs.fast_marshal(answer.records.len().max(1)));
-        world.metrics().record(
-            "bind_resolver",
-            "std_query_us",
-            world.now().since(t0).as_us(),
-        );
+        self.query_us
+            .get(world.metrics(), "bind_resolver", "std_query_us")
+            .record(world.now().since(t0).as_us());
         answer.into_result(&question).map_err(|e| match e {
             crate::error::NsError::NameError(n) | crate::error::NsError::NoData(n) => {
                 RpcError::NotFound(n)
@@ -100,6 +110,12 @@ impl StdResolver {
     /// Cache statistics.
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Publishes the TTL cache's statistics into `metrics` under
+    /// `component`.
+    pub fn export_cache_metrics(&self, metrics: &MetricsRegistry, component: &str) {
+        self.cache.export_metrics(metrics, component);
     }
 
     /// Clears the cache.
@@ -124,13 +140,23 @@ pub struct HrpcResolver {
     net: Arc<RpcNet>,
     host: HostId,
     server: HrpcBinding,
+    queries: LazyCounter,
+    query_us: LazyHistogram,
+    mqueries: LazyCounter,
 }
 
 impl HrpcResolver {
     /// Creates the interface on `host` pointed at a server's Raw HRPC
     /// binding.
     pub fn new(net: Arc<RpcNet>, host: HostId, server: HrpcBinding) -> Self {
-        HrpcResolver { net, host, server }
+        HrpcResolver {
+            net,
+            host,
+            server,
+            queries: LazyCounter::new(),
+            query_us: LazyHistogram::new(),
+            mqueries: LazyCounter::new(),
+        }
     }
 
     /// The host this resolver calls from.
@@ -142,10 +168,9 @@ impl HrpcResolver {
     /// marshalling cost plus the interface's fixed overhead.
     pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Vec<ResourceRecord>> {
         let t0 = self.net.world().now();
-        self.net
-            .world()
-            .metrics()
-            .inc("bind_resolver", "hrpc_queries");
+        self.queries
+            .get(self.net.world().metrics(), "bind_resolver", "hrpc_queries")
+            .inc();
         let question = Question::new(name.clone(), rtype);
         let reply = self
             .net
@@ -156,11 +181,9 @@ impl HrpcResolver {
             world.costs.generated_miss(answer.records.len().max(1))
                 + world.costs.bind_resolver_overhead,
         );
-        world.metrics().record(
-            "bind_resolver",
-            "hrpc_query_us",
-            world.now().since(t0).as_us(),
-        );
+        self.query_us
+            .get(world.metrics(), "bind_resolver", "hrpc_query_us")
+            .record(world.now().since(t0).as_us());
         answer.into_result(&question).map_err(|e| match e {
             crate::error::NsError::NameError(n) | crate::error::NsError::NoData(n) => {
                 RpcError::NotFound(n)
@@ -176,7 +199,9 @@ impl HrpcResolver {
     /// Marshalling is charged per record set — the batch saves transport
     /// round trips and per-call resolver overhead, not demarshalling work.
     pub fn mquery(&self, questions: &[Question], hints: &[String]) -> RpcResult<MultiAnswer> {
-        self.net.world().metrics().inc("bind_resolver", "mqueries");
+        self.mqueries
+            .get(self.net.world().metrics(), "bind_resolver", "mqueries")
+            .inc();
         let mq = MultiQuestion::new(questions.to_vec(), hints.to_vec());
         let reply = self
             .net

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use simnet::obs::{LazyCounter, LazyHistogram};
 use simnet::topology::{HostId, NetAddr};
 use simnet::trace::TraceKind;
 use simnet::world::World;
@@ -52,8 +53,28 @@ pub struct Hns {
     meta: MetaStore,
     meta_binding: HrpcBinding,
     cache: HnsCache,
-    linked_nsms: RwLock<HashMap<String, Arc<dyn Nsm>>>,
+    /// Linked NSM registry. Read-mostly: linking happens at deployment,
+    /// mapping 6 reads on every cold walk. Readers take an `Arc`
+    /// snapshot; writers rebuild and swap.
+    linked_nsms: RwLock<Arc<HashMap<String, Arc<dyn Nsm>>>>,
     batching: AtomicBool,
+    handles: HnsMetricHandles,
+}
+
+/// Cached registry handles for the per-query metrics, resolved on first
+/// use so a query costs striped atomic ops — not registry lookups with
+/// their key allocations and read locks — per metric update.
+#[derive(Default)]
+struct HnsMetricHandles {
+    find_nsm_calls: LazyCounter,
+    find_nsm_errors: LazyCounter,
+    find_nsm_remote_round_trips: LazyCounter,
+    round_trips_sequential: LazyHistogram,
+    round_trips_batched: LazyHistogram,
+    find_nsm_us: LazyHistogram,
+    mapping_us: [LazyHistogram; 6],
+    batch_prefetch_us: LazyHistogram,
+    linked_calls: LazyCounter,
 }
 
 /// Record sets piggybacked by the meta server on a batched fetch, keyed by
@@ -109,8 +130,9 @@ impl Hns {
             meta: MetaStore::new(resolver, origin),
             meta_binding,
             cache: HnsCache::new(cache_mode),
-            linked_nsms: RwLock::new(HashMap::new()),
+            linked_nsms: RwLock::new(Arc::new(HashMap::new())),
             batching: AtomicBool::new(false),
+            handles: HnsMetricHandles::default(),
         }
     }
 
@@ -149,9 +171,10 @@ impl Hns {
     /// Links an NSM instance directly with this HNS (the recursion-breaking
     /// arrangement for host-address NSMs).
     pub fn link_nsm(&self, nsm: Arc<dyn Nsm>) {
-        self.linked_nsms
-            .write()
-            .insert(nsm.nsm_name().to_string(), nsm);
+        let mut nsms = self.linked_nsms.write();
+        let mut next = HashMap::clone(&nsms);
+        next.insert(nsm.nsm_name().to_string(), nsm);
+        *nsms = Arc::new(next);
     }
 
     /// Registers a context with its name service and name mapping.
@@ -339,15 +362,16 @@ impl Hns {
             LookupOrFetch::NegativeHit => None,
             LookupOrFetch::Lead(guard) => Some(guard),
         };
-        let linked = self
-            .linked_nsms
-            .read()
+        let linked = Arc::clone(&self.linked_nsms.read())
             .get(ha_nsm_name)
             .cloned()
             .ok_or_else(|| HnsError::NoLinkedHostAddrNsm(host_ns.to_string()))?;
         let hns_name = HnsName::new(host_context.clone(), host_name)?;
         let world = self.world();
-        world.metrics().inc("nsm", "linked_calls");
+        self.handles
+            .linked_calls
+            .get(world.metrics(), "nsm", "linked_calls")
+            .inc();
         let reply = {
             let span = world.span_lazy(Some(self.host), TraceKind::Nsm, || {
                 format!("linked NSM {ha_nsm_name}: {host_name} -> address")
@@ -444,19 +468,37 @@ impl Hns {
         drop(span);
 
         let metrics = world.metrics();
-        metrics.inc("hns", "find_nsm_calls");
-        metrics.add("hns", "find_nsm_errors", u64::from(result.is_err()));
-        metrics.add("hns", "find_nsm_remote_round_trips", remote_round_trips);
-        metrics.record(
-            "hns",
-            if batched {
-                "find_nsm_round_trips_batched"
-            } else {
-                "find_nsm_round_trips_sequential"
-            },
-            remote_round_trips,
-        );
-        metrics.record_ms("hns", "find_nsm_us", took.as_ms_f64());
+        self.handles
+            .find_nsm_calls
+            .get(metrics, "hns", "find_nsm_calls")
+            .inc();
+        // The error counter registers unconditionally (add of 0), exactly
+        // as the seed did — snapshots must keep showing the `= 0` line.
+        self.handles
+            .find_nsm_errors
+            .get(metrics, "hns", "find_nsm_errors")
+            .add(u64::from(result.is_err()));
+        self.handles
+            .find_nsm_remote_round_trips
+            .get(metrics, "hns", "find_nsm_remote_round_trips")
+            .add(remote_round_trips);
+        let (rt_handle, rt_name) = if batched {
+            (
+                &self.handles.round_trips_batched,
+                "find_nsm_round_trips_batched",
+            )
+        } else {
+            (
+                &self.handles.round_trips_sequential,
+                "find_nsm_round_trips_sequential",
+            )
+        };
+        rt_handle
+            .get(metrics, "hns", rt_name)
+            .record(remote_round_trips);
+        self.handles
+            .find_nsm_us
+            .record_ms(metrics, "hns", "find_nsm_us", took.as_ms_f64());
 
         let binding = result?;
         Ok((
@@ -493,9 +535,12 @@ impl Hns {
         let result = f();
         let took_ms = world.now().since(t0).as_ms_f64();
         drop(span);
-        world
-            .metrics()
-            .record_ms("hns_meta", HIST[idx - 1], took_ms);
+        self.handles.mapping_us[idx - 1].record_ms(
+            world.metrics(),
+            "hns_meta",
+            HIST[idx - 1],
+            took_ms,
+        );
         result
     }
 
@@ -517,9 +562,12 @@ impl Hns {
             let prefetched = self.prefetch_meta_batch(&name.context, qc);
             let took_ms = world.now().since(t0).as_ms_f64();
             drop(span);
-            world
-                .metrics()
-                .record_ms("hns_meta", "batch_prefetch_us", took_ms);
+            self.handles.batch_prefetch_us.record_ms(
+                world.metrics(),
+                "hns_meta",
+                "batch_prefetch_us",
+                took_ms,
+            );
             Some(prefetched?)
         } else {
             None

@@ -12,10 +12,11 @@
 //! * Server-side service time (BIND lookup, Clearinghouse auth + disk) is
 //!   charged inside the service's `dispatch`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use simnet::obs::{LazyCounter, LazyHistogram};
 use simnet::rng::DetRng;
 use simnet::topology::{HostId, NetAddr};
 use simnet::trace::TraceKind;
@@ -39,7 +40,11 @@ pub const EXCHANGE_RESOLVE: u32 = 1;
 /// First dynamically assigned port.
 const FIRST_DYNAMIC_PORT: u16 = 1024;
 
-#[derive(Default)]
+/// Service/port/name registries. Read-mostly: exports happen during
+/// setup, lookups on every remote call. Readers take an `Arc` snapshot
+/// and resolve lock-free; writers rebuild and swap, so the call path
+/// never serializes on the registry lock.
+#[derive(Default, Clone)]
 struct NetTables {
     services: HashMap<(HostId, u16), Arc<dyn RpcService>>,
     /// Per-host portmapper table: program number → (port, service name).
@@ -71,17 +76,93 @@ impl LossPlan {
     }
 }
 
-/// Reply-cache entries kept before the at-most-once table is flushed.
+/// Total reply-cache entries kept for at-most-once bookkeeping.
 const REPLY_CACHE_LIMIT: usize = 65_536;
+
+/// Shard count for [`ReplyCache`]; power of two.
+const REPLY_CACHE_SHARDS: usize = 16;
+
+#[derive(Default)]
+struct ReplyShard {
+    map: HashMap<(HostId, u64), Value>,
+    /// Insertion order, for FIFO eviction within the shard.
+    order: VecDeque<(HostId, u64)>,
+}
+
+/// The at-most-once reply cache, keyed by (caller, call id).
+///
+/// Lock-striped by call id (xids are sequential, so striping on the low
+/// bits spreads concurrent callers evenly), and each shard evicts its
+/// own oldest entries when it exceeds its share of the capacity. The
+/// seed design kept one global map and *cleared the whole table* at the
+/// limit — a burst of fresh calls could wipe the cached reply an
+/// in-flight retransmission still needed, silently re-executing a call
+/// the protocol promised to execute at most once.
+struct ReplyCache {
+    shards: Vec<Mutex<ReplyShard>>,
+    per_shard_cap: usize,
+}
+
+impl ReplyCache {
+    fn new(capacity: usize) -> Self {
+        ReplyCache {
+            shards: (0..REPLY_CACHE_SHARDS)
+                .map(|_| Mutex::new(ReplyShard::default()))
+                .collect(),
+            per_shard_cap: (capacity / REPLY_CACHE_SHARDS).max(1),
+        }
+    }
+
+    fn shard_index(key: &(HostId, u64)) -> usize {
+        key.1 as usize & (REPLY_CACHE_SHARDS - 1)
+    }
+
+    fn get(&self, key: &(HostId, u64)) -> Option<Value> {
+        self.shards[Self::shard_index(key)]
+            .lock()
+            .map
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: (HostId, u64), value: Value) {
+        let mut shard = self.shards[Self::shard_index(&key)].lock();
+        if shard.map.insert(key, value).is_none() {
+            shard.order.push_back(key);
+        }
+        while shard.map.len() > self.per_shard_cap {
+            let Some(oldest) = shard.order.pop_front() else {
+                break;
+            };
+            shard.map.remove(&oldest);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+}
+
+/// Cached registry handles for the fabric's hot-path metrics, resolved
+/// on first use so unexercised metrics never register (keeps snapshots
+/// identical to the seed's lazy registration).
+#[derive(Default)]
+struct CallMetricHandles {
+    remote_call_us: LazyHistogram,
+    datagrams_lost: LazyCounter,
+    reply_cache_hits: LazyCounter,
+    call_errors: LazyCounter,
+}
 
 /// The RPC fabric shared by all simulated components.
 pub struct RpcNet {
     world: Arc<World>,
-    tables: RwLock<NetTables>,
+    tables: RwLock<Arc<NetTables>>,
     loss: Mutex<Option<LossPlan>>,
     next_xid: std::sync::atomic::AtomicU64,
-    /// At-most-once reply cache, keyed by (caller, call id).
-    replies: Mutex<HashMap<(HostId, u64), Value>>,
+    replies: ReplyCache,
+    call_metrics: CallMetricHandles,
 }
 
 impl RpcNet {
@@ -89,10 +170,11 @@ impl RpcNet {
     pub fn new(world: Arc<World>) -> Arc<Self> {
         Arc::new(RpcNet {
             world,
-            tables: RwLock::new(NetTables::default()),
+            tables: RwLock::new(Arc::new(NetTables::default())),
             loss: Mutex::new(None),
             next_xid: std::sync::atomic::AtomicU64::new(1),
-            replies: Mutex::new(HashMap::new()),
+            replies: ReplyCache::new(REPLY_CACHE_LIMIT),
+            call_metrics: CallMetricHandles::default(),
         })
     }
 
@@ -112,7 +194,8 @@ impl RpcNet {
     /// name with its Courier exchange listener, so both binding protocols
     /// can find it.
     pub fn export(&self, host: HostId, program: ProgramId, service: Arc<dyn RpcService>) -> u16 {
-        let mut t = self.tables.write();
+        let mut tables = self.tables.write();
+        let mut t = NetTables::clone(&tables);
         let port_ref = t.next_port.entry(host).or_insert(FIRST_DYNAMIC_PORT);
         let port = *port_ref;
         *port_ref += 1;
@@ -120,6 +203,7 @@ impl RpcNet {
         t.services.insert((host, port), service);
         t.programs.insert((host, program.0), (port, name.clone()));
         t.by_name.insert((host, name), port);
+        *tables = Arc::new(t);
         port
     }
 
@@ -141,7 +225,8 @@ impl RpcNet {
             port != PORTMAP_PORT && port != EXCHANGE_PORT,
             "port {port} is reserved for a built-in service"
         );
-        let mut t = self.tables.write();
+        let mut tables = self.tables.write();
+        let mut t = NetTables::clone(&tables);
         assert!(
             !t.services.contains_key(&(host, port)),
             "port {port} already exported on {host}"
@@ -150,21 +235,27 @@ impl RpcNet {
         t.services.insert((host, port), service);
         t.programs.insert((host, program.0), (port, name.clone()));
         t.by_name.insert((host, name), port);
+        *tables = Arc::new(t);
     }
 
     /// Removes an exported service (used by failure-injection tests).
     pub fn unexport(&self, host: HostId, port: u16) {
-        let mut t = self.tables.write();
+        let mut tables = self.tables.write();
+        let mut t = NetTables::clone(&tables);
         if let Some(service) = t.services.remove(&(host, port)) {
             let name = service.service_name().to_string();
             t.by_name.remove(&(host, name));
             t.programs.retain(|_, (p, _)| *p != port);
+            *tables = Arc::new(t);
         }
     }
 
+    fn tables_snapshot(&self) -> Arc<NetTables> {
+        Arc::clone(&self.tables.read())
+    }
+
     fn lookup_service(&self, host: HostId, port: u16) -> RpcResult<Arc<dyn RpcService>> {
-        self.tables
-            .read()
+        self.tables_snapshot()
             .services
             .get(&(host, port))
             .cloned()
@@ -174,8 +265,7 @@ impl RpcNet {
     /// Looks up a program's port via the host's portmapper table (the
     /// server side of [`PMAP_GETPORT`]).
     pub fn portmap_getport(&self, host: HostId, program: ProgramId) -> RpcResult<u16> {
-        self.tables
-            .read()
+        self.tables_snapshot()
             .programs
             .get(&(host, program.0))
             .map(|(p, _)| *p)
@@ -188,8 +278,7 @@ impl RpcNet {
     /// Looks up a service's port by name via the host's Courier exchange
     /// table (the server side of [`EXCHANGE_RESOLVE`]).
     pub fn exchange_resolve(&self, host: HostId, name: &str) -> RpcResult<u16> {
-        self.tables
-            .read()
+        self.tables_snapshot()
             .by_name
             .get(&(host, name.to_string()))
             .copied()
@@ -264,7 +353,10 @@ impl RpcNet {
 
             // Request leg.
             if datagram && self.datagram_dropped() {
-                self.world.metrics().inc("hrpc_net", "datagrams_lost");
+                self.call_metrics
+                    .datagrams_lost
+                    .get(self.world.metrics(), "hrpc_net", "datagrams_lost")
+                    .inc();
                 self.world.trace(
                     Some(caller),
                     TraceKind::Rpc,
@@ -280,11 +372,11 @@ impl RpcNet {
             // control protocol keeps call state.
             let served = if datagram && components.control.at_most_once() {
                 let key = (caller, xid);
-                // NB: take the cached value out before branching so the
-                // lock guard is released (the else branch locks again).
-                let cached = self.replies.lock().get(&key).cloned();
-                if let Some(cached) = cached {
-                    self.world.metrics().inc("hrpc_net", "reply_cache_hits");
+                if let Some(cached) = self.replies.get(&key) {
+                    self.call_metrics
+                        .reply_cache_hits
+                        .get(self.world.metrics(), "hrpc_net", "reply_cache_hits")
+                        .inc();
                     self.world.trace(
                         Some(binding.host),
                         TraceKind::Rpc,
@@ -293,13 +385,7 @@ impl RpcNet {
                     Ok(cached)
                 } else {
                     self.serve(caller, binding, proc_id, &decoded_args)
-                        .inspect(|reply| {
-                            let mut replies = self.replies.lock();
-                            if replies.len() > REPLY_CACHE_LIMIT {
-                                replies.clear();
-                            }
-                            replies.insert(key, reply.clone());
-                        })
+                        .inspect(|reply| self.replies.insert(key, reply.clone()))
                 }
             } else {
                 self.serve(caller, binding, proc_id, &decoded_args)
@@ -311,7 +397,10 @@ impl RpcNet {
 
             // Response leg.
             if datagram && self.datagram_dropped() {
-                self.world.metrics().inc("hrpc_net", "datagrams_lost");
+                self.call_metrics
+                    .datagrams_lost
+                    .get(self.world.metrics(), "hrpc_net", "datagrams_lost")
+                    .inc();
                 self.world.trace(
                     Some(caller),
                     TraceKind::Rpc,
@@ -346,11 +435,15 @@ impl RpcNet {
         span.add_round_trips(u64::from(attempts));
         drop(span);
         let took = self.world.now().since(t0);
-        self.world
-            .metrics()
-            .record("hrpc_net", "remote_call_us", took.as_us());
+        self.call_metrics
+            .remote_call_us
+            .get(self.world.metrics(), "hrpc_net", "remote_call_us")
+            .record(took.as_us());
         if result.is_err() {
-            self.world.metrics().inc("hrpc_net", "call_errors");
+            self.call_metrics
+                .call_errors
+                .get(self.world.metrics(), "hrpc_net", "call_errors")
+                .inc();
         }
         result
     }
@@ -619,6 +712,103 @@ mod tests {
         // Two remote hops: client->frontend (33) + frontend->backend (22).
         assert!(took.as_ms_f64() >= 55.0, "took {took}");
         assert_eq!(delta.remote_calls, 2);
+    }
+
+    /// Satellite regression: under eviction pressure, an entry whose
+    /// shard is not over capacity must survive — the seed design cleared
+    /// the *entire* table at the limit, so unrelated traffic could wipe
+    /// the reply a retransmission still needed.
+    #[test]
+    fn reply_cache_entry_survives_pressure_on_other_shards() {
+        let cache = ReplyCache::new(64); // 4 entries per shard
+        let victim = (HostId(1), 0u64);
+        let victim_shard = ReplyCache::shard_index(&victim);
+        cache.insert(victim, Value::U32(42));
+        // Flood every *other* shard far past its per-shard cap.
+        let mut flooded = 0;
+        let mut xid = 1u64;
+        while flooded < 1_000 {
+            let key = (HostId(2), xid);
+            xid += 1;
+            if ReplyCache::shard_index(&key) == victim_shard {
+                continue;
+            }
+            cache.insert(key, Value::Void);
+            flooded += 1;
+        }
+        assert_eq!(
+            cache.get(&victim),
+            Some(Value::U32(42)),
+            "pressure on other shards must not evict a live entry"
+        );
+    }
+
+    #[test]
+    fn reply_cache_evicts_oldest_within_a_full_shard() {
+        let cache = ReplyCache::new(64); // 4 entries per shard
+        let shard = REPLY_CACHE_SHARDS as u64; // stride keeps keys in shard 0
+        let keys: Vec<_> = (0..6).map(|i| (HostId(1), i * shard)).collect();
+        for (i, key) in keys.iter().enumerate() {
+            cache.insert(*key, Value::U32(i as u32));
+        }
+        // 6 inserts into a 4-entry shard: the two oldest are gone, the
+        // rest (and nothing else) remain.
+        assert_eq!(cache.get(&keys[0]), None);
+        assert_eq!(cache.get(&keys[1]), None);
+        for (i, key) in keys.iter().enumerate().skip(2) {
+            assert_eq!(cache.get(key), Some(Value::U32(i as u32)));
+        }
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn reply_cache_reinsert_does_not_duplicate_order_entries() {
+        let cache = ReplyCache::new(64);
+        let key = (HostId(1), 0u64);
+        for i in 0..10 {
+            cache.insert(key, Value::U32(i));
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key), Some(Value::U32(9)));
+    }
+
+    #[test]
+    fn duplicate_after_lost_reply_is_answered_from_reply_cache() {
+        // An at-most-once datagram suite whose first reply is lost: the
+        // retransmission must be answered from the reply cache, not by
+        // re-executing the procedure.
+        let (world, net, client, server) = setup();
+        let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let counted = {
+            let calls = Arc::clone(&calls);
+            Arc::new(ProcServer::new("counted").with_proc(1, move |_ctx, _args| {
+                calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(Value::U32(7))
+            }))
+        };
+        net.export(server, ProgramId(77), counted);
+        let b = binding_for(&net, server, ComponentSet::raw_udp_at_most_once(0));
+        // Each attempt draws twice (request leg, reply leg). Pick a seed
+        // whose first four draws are [keep, drop, keep, keep]: request
+        // delivered, reply lost, retransmission delivered and answered.
+        let seed = (0..100_000u64)
+            .find(|&s| {
+                let mut rng = DetRng::new(s);
+                let draws: Vec<bool> = (0..4).map(|_| rng.chance(0.5)).collect();
+                draws == [false, true, false, false]
+            })
+            .expect("a drop-reply-only seed exists");
+        net.set_loss(Some(LossPlan::new(0.5, seed)));
+        let ok = net.call(client, &b, 1, &Value::Void).expect("retried call");
+        assert_eq!(ok, Value::U32(7));
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "the duplicate must come from the reply cache, not re-execution"
+        );
+        let snap = world.metrics().snapshot();
+        assert_eq!(snap.counter("hrpc_net", "reply_cache_hits"), Some(1));
+        assert_eq!(snap.counter("hrpc_net", "datagrams_lost"), Some(1));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
-    Counter, CounterSample, Histogram, HistogramSample, MetricsRegistry, MetricsSnapshot,
+    Counter, CounterSample, Histogram, HistogramSample, LazyCounter, LazyHistogram,
+    MetricsRegistry, MetricsSnapshot,
 };
 pub use trace::{CacheOutcome, QueryTrace, SpanId, SpanRecord, TraceEvent, TraceKind, Tracer};

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
@@ -119,6 +119,76 @@ impl Counter {
         for s in &self.stripes[1..] {
             s.0.store(0, Ordering::Relaxed);
         }
+    }
+}
+
+/// A counter handle resolved against a registry on first use.
+///
+/// Hot paths that call [`MetricsRegistry::inc`] pay two `String`
+/// allocations and a registry read-lock per increment. A component that
+/// owns a `LazyCounter` field pays that once — the first increment
+/// registers the metric (so snapshots look exactly as if the component
+/// had called `inc` directly: a never-touched metric never appears) and
+/// later increments are a single striped atomic add.
+#[derive(Default)]
+pub struct LazyCounter {
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl LazyCounter {
+    /// Creates an unresolved handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying counter, registering `component/name` in
+    /// `registry` on first use. Always pass the same registry.
+    pub fn get(&self, registry: &MetricsRegistry, component: &str, name: &str) -> &Counter {
+        self.cell.get_or_init(|| registry.counter(component, name))
+    }
+}
+
+impl std::fmt::Debug for LazyCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyCounter")
+            .field("resolved", &self.cell.get().is_some())
+            .finish()
+    }
+}
+
+/// A histogram handle resolved against a registry on first use; the
+/// histogram twin of [`LazyCounter`].
+#[derive(Default)]
+pub struct LazyHistogram {
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazyHistogram {
+    /// Creates an unresolved handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying histogram, registering `component/name` in
+    /// `registry` on first use. Always pass the same registry.
+    pub fn get(&self, registry: &MetricsRegistry, component: &str, name: &str) -> &Histogram {
+        self.cell
+            .get_or_init(|| registry.histogram(component, name))
+    }
+
+    /// Records a millisecond duration (converted to whole microseconds),
+    /// mirroring [`MetricsRegistry::record_ms`].
+    pub fn record_ms(&self, registry: &MetricsRegistry, component: &str, name: &str, ms: f64) {
+        let us = (ms * 1000.0).round().max(0.0) as u64;
+        self.get(registry, component, name).record(us);
+    }
+}
+
+impl std::fmt::Debug for LazyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyHistogram")
+            .field("resolved", &self.cell.get().is_some())
+            .finish()
     }
 }
 
@@ -548,6 +618,28 @@ mod tests {
         assert_eq!(counters[0].get("value").unwrap().as_u64(), Some(6));
         let hists = v.get("histograms").unwrap().as_array().unwrap();
         assert_eq!(hists[0].get("p50").unwrap().as_u64(), Some(6));
+    }
+
+    #[test]
+    fn lazy_handles_register_on_first_use_only() {
+        let m = MetricsRegistry::new();
+        let c = LazyCounter::new();
+        let h = LazyHistogram::new();
+        // Unused handles leave the registry untouched — snapshots look
+        // exactly as if the component had never reported.
+        assert!(m.snapshot().counters.is_empty());
+        assert!(m.snapshot().histograms.is_empty());
+        c.get(&m, "net", "remote_calls").add(3);
+        c.get(&m, "net", "remote_calls").inc();
+        h.record_ms(&m, "hns", "find_nsm_us", 1.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("net", "remote_calls"), Some(4));
+        assert_eq!(snap.histogram("hns", "find_nsm_us").unwrap().sum, 1_500);
+        // The resolved handle is the registry's own Arc.
+        assert!(Arc::ptr_eq(
+            &m.counter("net", "remote_calls"),
+            &m.counter("net", "remote_calls")
+        ));
     }
 
     /// Satellite: N threads recording into one histogram yield exact

@@ -21,9 +21,25 @@ pub trait Clock: Send + Sync {
     fn advance(&self, d: SimDuration);
 }
 
+/// Stripe count for [`VirtualClock`]; power of two.
+const STRIPES: usize = 8;
+
+/// One cache line per stripe so concurrent advances don't bounce a
+/// single word between cores.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct ClockStripe(AtomicU64);
+
 /// The standard monotonically-advancing virtual clock.
 ///
 /// Cheap to share (`Arc<VirtualClock>`), safe to advance from any thread.
+///
+/// Advances land on a per-thread stripe and `now()` sums all stripes,
+/// so concurrent chargers never contend on one cache line. Because
+/// addition commutes, single-threaded runs read exactly the same
+/// instants as the unstriped design, and a reader's successive `now()`
+/// calls are monotone (each stripe only grows, and SeqCst loads never
+/// observe older values than a prior load).
 ///
 /// # Examples
 ///
@@ -37,7 +53,7 @@ pub trait Clock: Send + Sync {
 /// ```
 #[derive(Debug, Default)]
 pub struct VirtualClock {
-    micros: AtomicU64,
+    stripes: [ClockStripe; STRIPES],
 }
 
 impl VirtualClock {
@@ -46,10 +62,26 @@ impl VirtualClock {
         Self::default()
     }
 
+    /// The stripe the calling thread charges against.
+    fn stripe(&self) -> &AtomicU64 {
+        use std::hash::{Hash, Hasher};
+        thread_local! {
+            static STRIPE_IDX: usize = {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish() as usize
+            };
+        }
+        let idx = STRIPE_IDX.with(|i| *i) & (STRIPES - 1);
+        &self.stripes[idx].0
+    }
+
     /// Resets the clock to the origin. Intended for experiment harnesses
     /// that reuse one world across trials.
     pub fn reset(&self) {
-        self.micros.store(0, Ordering::SeqCst);
+        for s in &self.stripes {
+            s.0.store(0, Ordering::SeqCst);
+        }
     }
 
     /// Measures the virtual time consumed by `f`.
@@ -62,11 +94,16 @@ impl VirtualClock {
 
 impl Clock for VirtualClock {
     fn now(&self) -> SimTime {
-        SimTime::from_us(self.micros.load(Ordering::SeqCst))
+        SimTime::from_us(
+            self.stripes
+                .iter()
+                .map(|s| s.0.load(Ordering::SeqCst))
+                .sum(),
+        )
     }
 
     fn advance(&self, d: SimDuration) {
-        self.micros.fetch_add(d.as_us(), Ordering::SeqCst);
+        self.stripe().fetch_add(d.as_us(), Ordering::SeqCst);
     }
 }
 
@@ -127,6 +164,32 @@ mod tests {
         let sw = Stopwatch::start(&c);
         c.advance(SimDuration::from_ms(7));
         assert_eq!(sw.elapsed(&c), SimDuration::from_ms(7));
+    }
+
+    #[test]
+    fn reads_are_monotone_under_concurrent_advances() {
+        use std::sync::Arc;
+        let c = Arc::new(VirtualClock::new());
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        c.advance(SimDuration::from_us(1));
+                    }
+                })
+            })
+            .collect();
+        let mut last = c.now();
+        for _ in 0..20_000 {
+            let now = c.now();
+            assert!(now >= last, "clock went backwards: {now:?} < {last:?}");
+            last = now;
+        }
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        assert_eq!(c.now().as_us(), 80_000);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! between hosts pays the remote-call overhead of the RPC suite in use.
 
 use std::fmt;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -46,9 +47,22 @@ struct HostRecord {
 }
 
 /// The set of hosts on the simulated LAN.
-#[derive(Debug, Default)]
+///
+/// Read-mostly: hosts are added during setup and then queried from many
+/// threads. Readers take a snapshot (`Arc` clone under a momentary read
+/// lock) and walk it lock-free; writers swap in a rebuilt list, so the
+/// query path never blocks behind a writer.
+#[derive(Debug)]
 pub struct Topology {
-    hosts: RwLock<Vec<HostRecord>>,
+    hosts: RwLock<Arc<Vec<HostRecord>>>,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            hosts: RwLock::new(Arc::new(Vec::new())),
+        }
+    }
 }
 
 impl Topology {
@@ -57,26 +71,28 @@ impl Topology {
         Self::default()
     }
 
+    fn snapshot(&self) -> Arc<Vec<HostRecord>> {
+        Arc::clone(&self.hosts.read())
+    }
+
     /// Adds a host with the given human-readable name and returns its id.
     pub fn add_host(&self, name: impl Into<String>) -> HostId {
         let mut hosts = self.hosts.write();
-        let id = HostId(hosts.len() as u32);
-        hosts.push(HostRecord { name: name.into() });
+        let mut next = Vec::clone(&hosts);
+        let id = HostId(next.len() as u32);
+        next.push(HostRecord { name: name.into() });
+        *hosts = Arc::new(next);
         id
     }
 
     /// Returns the name of `host`, if it exists.
     pub fn host_name(&self, host: HostId) -> Option<String> {
-        self.hosts
-            .read()
-            .get(host.0 as usize)
-            .map(|h| h.name.clone())
+        self.snapshot().get(host.0 as usize).map(|h| h.name.clone())
     }
 
     /// Looks a host up by name.
     pub fn host_by_name(&self, name: &str) -> Option<HostId> {
-        self.hosts
-            .read()
+        self.snapshot()
             .iter()
             .position(|h| h.name == name)
             .map(|i| HostId(i as u32))
@@ -84,12 +100,12 @@ impl Topology {
 
     /// Returns the number of hosts.
     pub fn len(&self) -> usize {
-        self.hosts.read().len()
+        self.snapshot().len()
     }
 
     /// Returns true if no hosts have been added.
     pub fn is_empty(&self) -> bool {
-        self.hosts.read().is_empty()
+        self.snapshot().is_empty()
     }
 
     /// Returns true when `a` and `b` are the same machine, i.e. a call

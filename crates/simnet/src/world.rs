@@ -13,7 +13,7 @@ use crate::costs::{CostModel, Ms};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{HostId, Topology};
 use crate::trace::{CacheOutcome, SpanId, TraceKind, Tracer};
-use obs::MetricsRegistry;
+use obs::{LazyCounter, MetricsRegistry};
 
 /// Global counters, useful for asserting the *structure* of operations
 /// (e.g. "a cold `FindNSM` makes exactly six remote data mappings").
@@ -63,6 +63,19 @@ pub struct World {
     pub tracer: Tracer,
     counters: Counters,
     metrics: MetricsRegistry,
+    net_handles: NetHandles,
+}
+
+/// Cached registry handles for the `net` mirror counters, so the
+/// per-call accounting in [`World::count_remote_call`] and friends costs
+/// one striped atomic add instead of a registry lookup (two `String`
+/// allocations plus a read lock) per call.
+#[derive(Debug, Default)]
+struct NetHandles {
+    remote_calls: LazyCounter,
+    bytes_sent: LazyCounter,
+    local_calls: LazyCounter,
+    ns_lookups: LazyCounter,
 }
 
 impl World {
@@ -75,6 +88,7 @@ impl World {
             tracer: Tracer::new(),
             counters: Counters::default(),
             metrics: MetricsRegistry::new(),
+            net_handles: NetHandles::default(),
         })
     }
 
@@ -161,20 +175,32 @@ impl World {
     pub fn count_remote_call(&self, bytes: u64) {
         self.counters.remote_calls.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
-        self.metrics.inc("net", "remote_calls");
-        self.metrics.add("net", "bytes_sent", bytes);
+        self.net_handles
+            .remote_calls
+            .get(&self.metrics, "net", "remote_calls")
+            .inc();
+        self.net_handles
+            .bytes_sent
+            .get(&self.metrics, "net", "bytes_sent")
+            .add(bytes);
     }
 
     /// Notes one local (same-host) call.
     pub fn count_local_call(&self) {
         self.counters.local_calls.fetch_add(1, Ordering::Relaxed);
-        self.metrics.inc("net", "local_calls");
+        self.net_handles
+            .local_calls
+            .get(&self.metrics, "net", "local_calls")
+            .inc();
     }
 
     /// Notes one lookup served by an underlying name service.
     pub fn count_ns_lookup(&self) {
         self.counters.ns_lookups.fetch_add(1, Ordering::Relaxed);
-        self.metrics.inc("net", "ns_lookups");
+        self.net_handles
+            .ns_lookups
+            .get(&self.metrics, "net", "ns_lookups")
+            .inc();
     }
 
     /// Snapshot of all counters.
