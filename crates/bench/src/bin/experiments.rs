@@ -10,6 +10,9 @@
 //! experiments --validate-trace t.json   # parse a JSON export, exit 1 on error
 //! experiments loadgen --threads 1,2,4,8 --ops 2000 --out BENCH_throughput.json
 //! experiments --validate-load BENCH_throughput.json
+//! experiments chaos --crash --partition --seed 42 --out chaos.json
+//! experiments chaos --seed 42 --validate-chaos   # validate the run's own JSON
+//! experiments --validate-chaos chaos.json        # validate a file
 //! ```
 //!
 //! Experiment ids: `table31 table32 overhead comparison preload eq1
@@ -20,7 +23,14 @@
 //! throughput, so it is *not* part of `all` (whose outputs are
 //! deterministic virtual-time tables); run it explicitly. Knobs:
 //! `--threads a,b,c --ops N --duration-ms MS --zipf S --cold F --bind F
-//! --seed N --out PATH`.
+//! --faults --seed N --out PATH`.
+//!
+//! `chaos` is the fault-injection scenario (E-C). It is flag-driven like
+//! `loadgen` and therefore also outside `all`: `--crash`, `--partition`,
+//! and `--latency-spike` pick the injected faults (no selector = all
+//! three), `--seed` jitters the fault windows, `--out` writes the
+//! `hns-chaos-v1` JSON, and `--validate-chaos` validates either the run's
+//! own export or a file given as its operand.
 
 use hns_bench::experiments as exp;
 use hns_bench::loadgen;
@@ -136,13 +146,34 @@ fn main() {
     let mut validate: Option<String> = None;
     let mut load = false;
     let mut load_config = loadgen::LoadConfig::default();
-    let mut load_out: Option<String> = None;
+    let mut out: Option<String> = None;
     let mut load_validate: Option<String> = None;
-    let mut it = args.iter();
+    let mut chaos = false;
+    // `None` until a selector flag appears; no selector means all faults.
+    let mut chaos_faults: Option<(bool, bool, bool)> = None;
+    let mut chaos_seed: u64 = exp::chaos::ChaosConfig::default().seed;
+    let mut chaos_validate_file: Option<String> = None;
+    let mut chaos_validate_inline = false;
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => trace = true,
             "loadgen" => load = true,
+            "chaos" => chaos = true,
+            "--crash" => chaos_faults.get_or_insert((false, false, false)).0 = true,
+            "--partition" => chaos_faults.get_or_insert((false, false, false)).1 = true,
+            "--latency-spike" => chaos_faults.get_or_insert((false, false, false)).2 = true,
+            "--faults" => load_config.faults = true,
+            "--validate-chaos" => {
+                // With a `.json` operand, validate that file and exit;
+                // bare, validate the chaos run's own export inline.
+                match it.peek() {
+                    Some(path) if path.ends_with(".json") => {
+                        chaos_validate_file = it.next().cloned();
+                    }
+                    _ => chaos_validate_inline = true,
+                }
+            }
             "--threads" => {
                 let csv: String = parse_or_die("--threads", it.next());
                 load_config.threads = csv
@@ -163,8 +194,12 @@ fn main() {
             "--zipf" => load_config.zipf_s = parse_or_die("--zipf", it.next()),
             "--cold" => load_config.cold_frac = parse_or_die("--cold", it.next()),
             "--bind" => load_config.bind_frac = parse_or_die("--bind", it.next()),
-            "--seed" => load_config.seed = parse_or_die("--seed", it.next()),
-            "--out" => load_out = Some(parse_or_die("--out", it.next())),
+            "--seed" => {
+                // Shared by loadgen (workload RNG) and chaos (window jitter).
+                load_config.seed = parse_or_die("--seed", it.next());
+                chaos_seed = load_config.seed;
+            }
+            "--out" => out = Some(parse_or_die("--out", it.next())),
             "--validate-load" => load_validate = Some(parse_or_die("--validate-load", it.next())),
             "--trace-out" => match it.next() {
                 Some(path) => {
@@ -211,8 +246,23 @@ fn main() {
             }
         }
     }
+    if let Some(path) = chaos_validate_file {
+        let result = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {path}: {e}"))
+            .and_then(|text| exp::chaos::validate(&text).map_err(|e| format!("{path}: {e}")));
+        match result {
+            Ok(()) => {
+                println!("{path}: valid hns-chaos-v1 export");
+                return;
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
 
-    let ids: Vec<&str> = if ids.is_empty() && (trace || load) {
+    let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos) {
         Vec::new()
     } else if ids.is_empty() || ids.contains(&"all") {
         ALL.to_vec()
@@ -235,13 +285,43 @@ fn main() {
         println!("=== experiment: loadgen ===");
         let rep = loadgen::run(&load_config);
         println!("{}", rep.render());
-        if let Some(path) = load_out {
+        if let Some(path) = &out {
             let json = rep.to_json();
-            if let Err(e) = std::fs::write(&path, &json) {
+            if let Err(e) = std::fs::write(path, &json) {
                 eprintln!("error: write {path}: {e}");
                 failed = true;
             } else {
                 println!("load JSON written to {path}");
+            }
+        }
+    }
+    if chaos {
+        println!("=== experiment: chaos ===");
+        let (crash, partition, latency_spike) = chaos_faults.unwrap_or((true, true, true));
+        let config = exp::chaos::ChaosConfig {
+            crash,
+            partition,
+            latency_spike,
+            seed: chaos_seed,
+        };
+        let run = exp::chaos::run(&config);
+        println!("{}", run.render());
+        let json = run.to_json();
+        if chaos_validate_inline {
+            match exp::chaos::validate(&json) {
+                Ok(()) => println!("chaos export: valid hns-chaos-v1"),
+                Err(err) => {
+                    eprintln!("error: chaos export invalid: {err}");
+                    failed = true;
+                }
+            }
+        }
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: write {path}: {e}");
+                failed = true;
+            } else {
+                println!("chaos JSON written to {path}");
             }
         }
     }

@@ -5,6 +5,7 @@ pub mod ablate_batching;
 pub mod ablate_mappings;
 pub mod ablate_rereg;
 pub mod ablate_ttl;
+pub mod chaos;
 pub mod comparison;
 pub mod eq1;
 pub mod figure21;

@@ -73,6 +73,10 @@ pub struct LoadConfig {
     pub bind_frac: f64,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Crash the meta server for the whole measured run: cold operations
+    /// fail fast with `HostUnreachable` while the pre-warmed paths keep
+    /// serving, so throughput under faults is measurable.
+    pub faults: bool,
 }
 
 impl Default for LoadConfig {
@@ -85,6 +89,7 @@ impl Default for LoadConfig {
             cold_frac: 0.05,
             bind_frac: 0.30,
             seed: 1987,
+            faults: false,
         }
     }
 }
@@ -224,6 +229,15 @@ fn build_stack(zipf_s: f64) -> (Stack, ZipfSampler) {
 /// Runs one thread count against a freshly built stack.
 fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
     let (stack, sampler) = build_stack(config.zipf_s);
+    if config.faults {
+        // Crash the meta server for the whole measured run (the caches
+        // are already warm). Cold operations walk into the crash and
+        // fail fast; warm and bind traffic keeps flowing, answering from
+        // the caches — stale once their TTL passes mid-run.
+        let mut plan = simnet::faults::FaultPlan::new();
+        plan.crash(stack.tb.hosts.meta, stack.tb.world.now(), None);
+        stack.tb.world.set_faults(Some(plan));
+    }
     let metrics = MetricsRegistry::new();
     let latency = metrics.histogram("loadgen", "op_latency_us");
     let ops_ctr = metrics.counter("loadgen", "ops");
@@ -420,6 +434,26 @@ mod tests {
         report::validate(&rep.to_json()).expect("export validates");
         let rendered = rep.render();
         assert!(rendered.contains("QPS"), "{rendered}");
+    }
+
+    #[test]
+    fn faults_fail_the_cold_path_and_only_the_cold_path() {
+        let config = LoadConfig {
+            threads: vec![2],
+            ops_per_thread: 150,
+            faults: true,
+            ..LoadConfig::default()
+        };
+        let rep = run(&config);
+        let r = &rep.runs[0];
+        assert_eq!(r.ops, 300);
+        assert_eq!(
+            r.errors, r.cold_ops,
+            "with the meta server crashed, exactly the cold operations fail"
+        );
+        assert!(r.cold_ops > 0, "the mix must exercise the cold path");
+        assert!(r.warm_ops > 0);
+        report::validate(&rep.to_json()).expect("export validates");
     }
 
     #[test]

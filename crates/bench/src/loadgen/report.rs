@@ -46,7 +46,8 @@ pub fn to_json(config: &LoadConfig, cores: usize, runs: &[RunResult]) -> String 
     format!(
         "{{\n  \"schema\": \"hns-load-v1\",\n  \"host\": {{\"cores\": {cores}}},\n  \
          \"config\": {{\"ops_per_thread\": {}, \"duration_ms\": {}, \"zipf_s\": {}, \
-         \"cold_frac\": {}, \"bind_frac\": {}, \"seed\": {}}},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+         \"cold_frac\": {}, \"bind_frac\": {}, \"seed\": {}, \"faults\": {}}},\n  \
+         \"runs\": [\n    {}\n  ]\n}}\n",
         config.ops_per_thread,
         config
             .duration_ms
@@ -55,6 +56,7 @@ pub fn to_json(config: &LoadConfig, cores: usize, runs: &[RunResult]) -> String 
         json::number(config.cold_frac),
         json::number(config.bind_frac),
         config.seed,
+        config.faults,
         runs_json.join(",\n    "),
     )
 }

@@ -36,8 +36,11 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found nothing (or only an expired entry).
     pub misses: u64,
-    /// Entries evicted because their TTL expired.
+    /// Entries observed past their TTL (counted once per expiry).
     pub expirations: u64,
+    /// Expired entries served anyway because the authoritative server
+    /// was unreachable (the resolver's serve-stale fallback).
+    pub stale_serves: u64,
 }
 
 impl CacheStats {
@@ -59,12 +62,18 @@ struct AtomicStats {
     hits: AtomicU64,
     misses: AtomicU64,
     expirations: AtomicU64,
+    stale_serves: AtomicU64,
 }
 
 #[derive(Debug, Clone)]
 struct Entry {
     records: Arc<[ResourceRecord]>,
     expires_at: SimTime,
+    /// Whether an expired probe already counted this entry's expiration.
+    /// Expired entries are retained (for the serve-stale fallback) rather
+    /// than evicted, but the expiration is still counted exactly once —
+    /// the same accounting eviction used to produce.
+    expired_counted: bool,
 }
 
 /// One shard: owner name → the record sets cached under it, one per
@@ -105,8 +114,10 @@ impl TtlCache {
     /// Looks up live records for (`name`, `rtype`) at virtual time `now`.
     ///
     /// Hits share the stored record set (`Arc` clone, no per-record
-    /// clone); an entry observed past its TTL is evicted and counted as
-    /// both a miss and an expiration.
+    /// clone); an entry observed past its TTL is counted as both a miss
+    /// and an expiration (once per expiry) but *retained*, so
+    /// [`TtlCache::get_stale`] can serve it if the authoritative server
+    /// turns out to be unreachable.
     pub fn get(
         &self,
         now: SimTime,
@@ -122,18 +133,47 @@ impl TtlCache {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
-        if sets[i].1.expires_at > now {
+        let entry = &mut sets[i].1;
+        if entry.expires_at > now {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            Some(Arc::clone(&sets[i].1.records))
+            Some(Arc::clone(&entry.records))
         } else {
-            sets.swap_remove(i);
-            if sets.is_empty() {
-                shard.remove(name);
-            }
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
-            self.stats.expirations.fetch_add(1, Ordering::Relaxed);
+            if !entry.expired_counted {
+                entry.expired_counted = true;
+                self.stats.expirations.fetch_add(1, Ordering::Relaxed);
+            }
             None
         }
+    }
+
+    /// Returns a retained *expired* record set for (`name`, `rtype`),
+    /// with how long it has been stale, or `None` if nothing (or only a
+    /// live entry) is cached. Does not touch the hit/miss statistics:
+    /// callers use this only after a fresh fetch failed, and count the
+    /// serve via [`TtlCache::note_stale_serve`].
+    pub fn get_stale(
+        &self,
+        now: SimTime,
+        name: &DomainName,
+        rtype: RType,
+    ) -> Option<(Arc<[ResourceRecord]>, SimDuration)> {
+        let shard = self.shard_of(name).lock();
+        let entry = shard
+            .get(name)?
+            .iter()
+            .find(|(t, _)| *t == rtype)
+            .map(|(_, e)| e)?;
+        if entry.expires_at > now {
+            return None;
+        }
+        Some((Arc::clone(&entry.records), now.since(entry.expires_at)))
+    }
+
+    /// Counts one serve-stale fallback (an expired entry handed to a
+    /// caller because the authority was unreachable).
+    pub fn note_stale_serve(&self) {
+        self.stats.stale_serves.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Inserts records, valid for the minimum TTL among them.
@@ -155,6 +195,7 @@ impl TtlCache {
         let entry = Entry {
             records,
             expires_at,
+            expired_counted: false,
         };
         let mut shard = self.shard_of(&name).lock();
         let sets = shard.entry(name).or_default();
@@ -171,15 +212,24 @@ impl TtlCache {
         }
     }
 
-    /// Number of entries (live or not yet observed as expired).
+    /// Number of entries not yet observed as expired. Entries whose
+    /// expiry has been observed stay resident (serve-stale fodder) but
+    /// are not counted here, so the figure matches what eviction used to
+    /// report.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().values().map(Vec::len).sum::<usize>())
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .flatten()
+                    .filter(|(_, e)| !e.expired_counted)
+                    .count()
+            })
             .sum()
     }
 
-    /// True if the cache holds no entries.
+    /// True if the cache holds no entries (counting retained stale ones).
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| s.lock().is_empty())
     }
@@ -190,6 +240,7 @@ impl TtlCache {
             hits: self.stats.hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
             expirations: self.stats.expirations.load(Ordering::Relaxed),
+            stale_serves: self.stats.stale_serves.load(Ordering::Relaxed),
         }
     }
 
@@ -198,16 +249,22 @@ impl TtlCache {
         self.stats.hits.store(0, Ordering::Relaxed);
         self.stats.misses.store(0, Ordering::Relaxed);
         self.stats.expirations.store(0, Ordering::Relaxed);
+        self.stats.stale_serves.store(0, Ordering::Relaxed);
     }
 
     /// Publishes the cache's statistics into `metrics` under `component`
-    /// (snapshot-time export, like the HNS cache).
+    /// (snapshot-time export, like the HNS cache). `stale_serves` is
+    /// published only when nonzero, so fault-free snapshots are
+    /// unchanged.
     pub fn export_metrics(&self, metrics: &MetricsRegistry, component: &str) {
         let stats = self.stats();
         metrics.set_counter(component, "hits", stats.hits);
         metrics.set_counter(component, "misses", stats.misses);
         metrics.set_counter(component, "expirations", stats.expirations);
         metrics.set_counter(component, "entries", self.len() as u64);
+        if stats.stale_serves > 0 {
+            metrics.set_counter(component, "stale_serves", stats.stale_serves);
+        }
     }
 }
 
@@ -258,7 +315,52 @@ mod tests {
         let after = SimTime::from_ms(1_001);
         assert!(c.get(after, &name("a.b"), RType::A).is_none());
         assert_eq!(c.stats().expirations, 1);
-        assert!(c.is_empty(), "expired entry must be evicted");
+        assert_eq!(c.len(), 0, "expired entry must not count as live");
+        assert!(!c.is_empty(), "…but is retained for serve-stale");
+    }
+
+    #[test]
+    fn expiration_is_counted_once_across_repeated_probes() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(1)]);
+        let late = SimTime::from_ms(5_000);
+        for _ in 0..3 {
+            assert!(c.get(late, &name("a.b"), RType::A).is_none());
+        }
+        let stats = c.stats();
+        assert_eq!(stats.misses, 3, "every probe is a miss");
+        assert_eq!(stats.expirations, 1, "the expiry is counted once");
+    }
+
+    #[test]
+    fn get_stale_returns_expired_entries_with_their_age() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(1)]);
+        // A live entry is not stale.
+        assert!(c.get_stale(SimTime::ZERO, &name("a.b"), RType::A).is_none());
+        let late = SimTime::from_ms(4_000);
+        let (records, stale_for) = c
+            .get_stale(late, &name("a.b"), RType::A)
+            .expect("retained expired entry");
+        assert_eq!(records.len(), 1);
+        assert_eq!(stale_for, SimDuration::from_ms(3_000));
+        // Nothing cached at all: no stale entry either.
+        assert!(c.get_stale(late, &name("x.y"), RType::A).is_none());
+        // Stale probes leave the hit/miss statistics alone.
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn reinsert_revives_a_stale_entry() {
+        let c = TtlCache::new();
+        c.insert(SimTime::ZERO, name("a.b"), RType::A, vec![rr(1)]);
+        let late = SimTime::from_ms(5_000);
+        assert!(c.get(late, &name("a.b"), RType::A).is_none());
+        assert_eq!(c.len(), 0);
+        c.insert(late, name("a.b"), RType::A, vec![rr(60)]);
+        assert_eq!(c.len(), 1, "refreshed entry is live again");
+        assert!(c.get(late, &name("a.b"), RType::A).is_some());
+        assert_eq!(c.stats().expirations, 1);
     }
 
     #[test]
@@ -330,6 +432,16 @@ mod tests {
         assert_eq!(snap.counter("bindns_cache", "misses"), Some(2));
         assert_eq!(snap.counter("bindns_cache", "expirations"), Some(1));
         assert_eq!(snap.counter("bindns_cache", "entries"), Some(0));
+        assert_eq!(
+            snap.counter("bindns_cache", "stale_serves"),
+            None,
+            "stale_serves is absent until a stale entry is actually served"
+        );
+
+        c.note_stale_serve();
+        c.export_metrics(&m, "bindns_cache");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("bindns_cache", "stale_serves"), Some(1));
     }
 
     /// Satellite: 8 threads × >10k ops each over the sharded cache; the

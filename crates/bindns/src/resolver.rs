@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use simnet::obs::{LazyCounter, LazyHistogram, MetricsRegistry};
 use simnet::topology::HostId;
+use simnet::trace::{CacheOutcome, TraceKind};
 use simnet::world::World;
 
 use hrpc::error::{RpcError, RpcResult};
@@ -56,6 +57,11 @@ impl StdResolver {
 
     /// Queries, consulting the cache first. Hits share the cached
     /// record set (`Arc`), so the hot path allocates nothing.
+    ///
+    /// When the server is unreachable (crashed or partitioned under an
+    /// installed `FaultPlan`) and an expired entry is still resident,
+    /// the resolver serves it stale rather than failing — RFC 8767
+    /// behaviour, mirroring the HNS meta cache's serve-stale fallback.
     pub fn query(&self, name: &DomainName, rtype: RType) -> RpcResult<Arc<[ResourceRecord]>> {
         let world = Arc::clone(self.world());
         world.charge_ms(world.costs.cache_probe);
@@ -70,7 +76,31 @@ impl StdResolver {
             );
             return Ok(records);
         }
-        let records: Arc<[ResourceRecord]> = self.query_uncached(name, rtype)?.into();
+        let records: Arc<[ResourceRecord]> = match self.query_uncached(name, rtype) {
+            Ok(records) => records.into(),
+            Err(err) if err.is_unreachable() => {
+                let Some((records, stale_for)) = self.cache.get_stale(world.now(), name, rtype)
+                else {
+                    return Err(err);
+                };
+                self.cache.note_stale_serve();
+                world.cache_outcome(CacheOutcome::Stale);
+                world.charge_ms(
+                    world
+                        .costs
+                        .cache_hit(simnet::CacheForm::Demarshalled, records.len()),
+                );
+                if world.tracer.is_enabled() {
+                    world.trace(
+                        Some(self.host),
+                        TraceKind::Cache,
+                        format!("stale_served: {name} {rtype:?} (stale {stale_for}; {err})"),
+                    );
+                }
+                return Ok(records);
+            }
+            Err(err) => return Err(err),
+        };
         self.cache
             .insert(world.now(), name.clone(), rtype, Arc::clone(&records));
         Ok(records)
@@ -411,6 +441,46 @@ mod tests {
             (saving - expected).abs() < 1.0,
             "batch saving {saving} ms, expected ~{expected}"
         );
+    }
+
+    #[test]
+    fn unreachable_server_serves_stale_from_the_ttl_cache() {
+        let (world, net, client, dep) = setup();
+        dep.server.with_db(|db| {
+            db.find_zone_mut(&name("short.cs.washington.edu"))
+                .expect("zone")
+                .add(ResourceRecord::txt(name("short.cs.washington.edu"), 1, "v"))
+                .expect("add");
+        });
+        let resolver = StdResolver::new(net, client, dep.std_binding);
+        resolver
+            .query(&name("short.cs.washington.edu"), RType::Txt)
+            .expect("warm");
+        world.charge_ms(2_000.0); // Let the TTL lapse.
+
+        // Crash the BIND host: the expired entry is served stale…
+        let mut plan = simnet::FaultPlan::new();
+        plan.crash(dep.std_binding.host, world.now(), None);
+        world.set_faults(Some(plan));
+        let got = resolver
+            .query(&name("short.cs.washington.edu"), RType::Txt)
+            .expect("serve-stale");
+        assert_eq!(got.len(), 1);
+        assert_eq!(resolver.cache_stats().stale_serves, 1);
+
+        // …while a name with nothing cached fails fast and typed.
+        assert!(matches!(
+            resolver.query(&name("fiji.cs.washington.edu"), RType::A),
+            Err(RpcError::HostUnreachable { .. })
+        ));
+
+        // Healing the crash resumes real fetches (and stops stale serves).
+        world.set_faults(None);
+        let (result, _, delta) =
+            world.measure(|| resolver.query(&name("short.cs.washington.edu"), RType::Txt));
+        assert!(result.is_ok());
+        assert_eq!(delta.remote_calls, 1, "healed query refetches");
+        assert_eq!(resolver.cache_stats().stale_serves, 1, "no new stale serve");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use simnet::topology::HostId;
+use simnet::trace::TraceKind;
 
 use hrpc::error::RpcResult;
 use hrpc::net::RpcNet;
@@ -19,11 +20,20 @@ use crate::server::{
 };
 
 /// A client of one Clearinghouse server.
+///
+/// Reads can fail over: the Clearinghouse replicates each domain with
+/// loose consistency, so any replica may answer a read. When replica
+/// bindings are installed ([`ChClient::set_read_fallbacks`]) and the
+/// primary is unreachable (crashed or partitioned under a `FaultPlan`),
+/// `lookup`/`list` retry against the replicas in order. Writes always go
+/// to the primary — replication is lazy, so a failed-over read may
+/// observe pre-propagation state, exactly as the real system would.
 pub struct ChClient {
     net: Arc<RpcNet>,
     host: HostId,
     server: HrpcBinding,
     creds: Credentials,
+    fallbacks: Vec<HrpcBinding>,
 }
 
 impl ChClient {
@@ -34,7 +44,50 @@ impl ChClient {
             host,
             server,
             creds,
+            fallbacks: Vec::new(),
         }
+    }
+
+    /// Installs replica bindings that reads fail over to when the
+    /// primary is unreachable (in order; replaces any previous set).
+    pub fn set_read_fallbacks(&mut self, fallbacks: Vec<HrpcBinding>) {
+        self.fallbacks = fallbacks;
+    }
+
+    /// Calls a read procedure, failing over to the installed replica
+    /// bindings when the primary is unreachable. Returns the primary's
+    /// error when every candidate is unreachable; a replica's
+    /// non-transport error (e.g. `NotFound`) is returned as-is — the
+    /// replica *answered*, it just didn't have the entry.
+    fn call_read(&self, proc: u32, args: &Value) -> RpcResult<Value> {
+        let primary = match self.net.call(self.host, &self.server, proc, args) {
+            Err(err) if err.is_unreachable() && !self.fallbacks.is_empty() => err,
+            other => return other,
+        };
+        for replica in &self.fallbacks {
+            if replica.host == self.server.host {
+                continue;
+            }
+            match self.net.call(self.host, replica, proc, args) {
+                Err(err) if err.is_unreachable() => continue,
+                other => {
+                    let world = self.net.world();
+                    world.metrics().inc("faults", "ch_read_failovers");
+                    if world.tracer.is_enabled() {
+                        world.trace(
+                            Some(self.host),
+                            TraceKind::NameService,
+                            format!(
+                                "CH read failover: {} -> {} ({primary})",
+                                self.server.host, replica.host
+                            ),
+                        );
+                    }
+                    return other;
+                }
+            }
+        }
+        Err(primary)
     }
 
     fn base_args(&self, name: &ThreePartName) -> Vec<(&'static str, Value)> {
@@ -48,9 +101,7 @@ impl ChClient {
     pub fn lookup(&self, name: &ThreePartName, prop: PropertyId) -> RpcResult<Property> {
         let mut args = self.base_args(name);
         args.push(("prop", Value::U32(prop.0)));
-        let reply = self
-            .net
-            .call(self.host, &self.server, PROC_LOOKUP, &Value::record(args))?;
+        let reply = self.call_read(PROC_LOOKUP, &Value::record(args))?;
         property_from_value(&reply)
     }
 
@@ -146,7 +197,7 @@ impl ChClient {
             ("organization", Value::str(organization)),
             ("pattern", Value::str(pattern)),
         ]);
-        let reply = self.net.call(self.host, &self.server, PROC_LIST, &args)?;
+        let reply = self.call_read(PROC_LIST, &args)?;
         reply
             .as_list()?
             .iter()
@@ -229,6 +280,156 @@ mod tests {
             .expect("set");
         let (_, took, _) = world.measure(|| client.lookup_item(&name, PROP_ADDRESS));
         assert!((took.as_ms_f64() - 156.0).abs() < 1.0, "took {took}");
+    }
+}
+
+#[cfg(test)]
+mod failover_tests {
+    use super::*;
+    use crate::db::ChDb;
+    use crate::property::PROP_ADDRESS;
+    use crate::replication::ChCluster;
+    use crate::server::{deploy, ChServer};
+    use simnet::faults::FaultPlan;
+    use simnet::world::World;
+
+    struct Env {
+        world: Arc<simnet::World>,
+        cluster: ChCluster,
+        client: ChClient,
+        replica_binding: HrpcBinding,
+        primary_host: HostId,
+        name: ThreePartName,
+    }
+
+    /// A primary + one replica, the entry written to the primary but not
+    /// yet propagated; the client points at the primary with no
+    /// fallbacks installed.
+    fn env() -> Env {
+        let world = World::paper();
+        let client_host = world.add_host("client");
+        let primary_host = world.add_host("xerox-d0");
+        let replica_host = world.add_host("xerox-d1");
+        let net = RpcNet::new(Arc::clone(&world));
+        let identity = ThreePartName::parse("app:cs:uw").expect("name");
+        let domains = vec![("cs".to_string(), "uw".to_string())];
+        let primary = ChServer::new("ch-primary", ChDb::new(domains.clone()));
+        let replica = ChServer::new("ch-replica", ChDb::new(domains));
+        primary.register_key(identity.clone(), 7);
+        replica.register_key(identity.clone(), 7);
+        let cluster = ChCluster::new(
+            Arc::clone(&world),
+            Arc::clone(&primary),
+            primary_host,
+            vec![(Arc::clone(&replica), replica_host)],
+        );
+        let pdep = deploy(&net, primary_host, primary);
+        let rdep = deploy(&net, replica_host, replica);
+        let client = ChClient::new(
+            net,
+            client_host,
+            pdep.binding,
+            Credentials::new(identity, 7),
+        );
+        let name = ThreePartName::parse("fiji:cs:uw").expect("name");
+        client
+            .set_item(&name, PROP_ADDRESS, Value::U32(5))
+            .expect("write to primary");
+        Env {
+            world,
+            cluster,
+            client,
+            replica_binding: rdep.binding,
+            primary_host,
+            name,
+        }
+    }
+
+    fn crash_primary(env: &Env) {
+        let mut plan = FaultPlan::new();
+        plan.crash(env.primary_host, env.world.now(), None);
+        env.world.set_faults(Some(plan));
+    }
+
+    #[test]
+    fn reads_fail_over_to_a_replica_when_the_primary_crashes() {
+        let mut env = env();
+        env.cluster.propagate();
+        crash_primary(&env);
+
+        // Without fallbacks, a crashed primary is a typed fast failure.
+        let err = env.client.lookup_item(&env.name, PROP_ADDRESS).unwrap_err();
+        assert!(err.is_unreachable(), "{err}");
+
+        // With the replica installed the read fails over…
+        env.client.set_read_fallbacks(vec![env.replica_binding]);
+        assert_eq!(
+            env.client
+                .lookup_item(&env.name, PROP_ADDRESS)
+                .expect("served by replica"),
+            Value::U32(5)
+        );
+        let snap = env.world.metrics().snapshot();
+        assert_eq!(snap.counter("faults", "ch_read_failovers"), Some(1));
+
+        // …while writes still go to the (crashed) primary only.
+        let err = env
+            .client
+            .set_item(&env.name, PROP_ADDRESS, Value::U32(6))
+            .unwrap_err();
+        assert!(err.is_unreachable(), "writes must not fail over: {err}");
+
+        // Healed: the primary answers again, no further failovers.
+        env.world.set_faults(None);
+        assert_eq!(
+            env.client
+                .lookup_item(&env.name, PROP_ADDRESS)
+                .expect("healed"),
+            Value::U32(5)
+        );
+        let snap = env.world.metrics().snapshot();
+        assert_eq!(snap.counter("faults", "ch_read_failovers"), Some(1));
+    }
+
+    #[test]
+    fn failed_over_reads_may_observe_pre_propagation_state() {
+        // The write has not been propagated: a failed-over read gets the
+        // replica's answer — "no such property" — not a transport error.
+        // That is the loose-consistency regime the paper's Clearinghouse
+        // inherits, surfaced under faults.
+        let mut env = env();
+        crash_primary(&env);
+        env.client.set_read_fallbacks(vec![env.replica_binding]);
+        let err = env.client.lookup_item(&env.name, PROP_ADDRESS).unwrap_err();
+        assert!(!err.is_unreachable(), "the replica answered: {err}");
+
+        // After propagation the same failed-over read sees the write.
+        env.cluster.propagate();
+        assert_eq!(
+            env.client
+                .lookup_item(&env.name, PROP_ADDRESS)
+                .expect("propagated"),
+            Value::U32(5)
+        );
+    }
+
+    #[test]
+    fn fallback_on_the_primary_host_is_skipped() {
+        // A fallback that points back at the primary's host cannot help
+        // (same crash domain) and must not burn a retry.
+        let mut env = env();
+        env.cluster.propagate();
+        crash_primary(&env);
+        let primary_binding = {
+            // Re-use the client's own server binding as the degenerate
+            // fallback.
+            env.client.server
+        };
+        env.client.set_read_fallbacks(vec![primary_binding]);
+        let err = env.client.lookup_item(&env.name, PROP_ADDRESS).unwrap_err();
+        assert!(err.is_unreachable(), "{err}");
+        let snap = env.world.metrics().snapshot();
+        assert_eq!(snap.counter("faults", "ch_read_failovers"), None);
     }
 }
 

@@ -129,6 +129,9 @@ pub struct HnsCacheStats {
     pub inserts: u64,
     /// Entries inserted by preload.
     pub preloaded: u64,
+    /// Expired entries served anyway because the authoritative server
+    /// was unreachable (serve-stale).
+    pub stale_serves: u64,
 }
 
 #[derive(Default)]
@@ -140,6 +143,7 @@ struct AtomicStats {
     coalesced: AtomicU64,
     inserts: AtomicU64,
     preloaded: AtomicU64,
+    stale_serves: AtomicU64,
 }
 
 impl AtomicStats {
@@ -152,6 +156,7 @@ impl AtomicStats {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             preloaded: self.preloaded.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
         }
     }
 
@@ -163,6 +168,7 @@ impl AtomicStats {
         self.coalesced.store(0, Ordering::Relaxed);
         self.inserts.store(0, Ordering::Relaxed);
         self.preloaded.store(0, Ordering::Relaxed);
+        self.stale_serves.store(0, Ordering::Relaxed);
     }
 }
 
@@ -258,6 +264,17 @@ pub enum LookupOrFetch<'a> {
     NegativeHit,
     /// This caller must fetch; keep the guard alive until the insert.
     Lead(FlightGuard<'a>),
+}
+
+/// An expired positive entry returned by [`HnsCache::lookup_stale`].
+#[derive(Debug, Clone)]
+pub struct StaleEntry {
+    /// The cached value; demarshalled entries share the stored `Arc`.
+    pub value: Arc<Value>,
+    /// Record count of the entry.
+    pub rrs: usize,
+    /// Whole seconds since the entry's TTL lapsed.
+    pub stale_for_secs: u32,
 }
 
 /// Outcome of [`HnsCache::begin_fetch`] after a miss.
@@ -424,7 +441,11 @@ impl HnsCache {
                 }
             }
             Some(_) => {
-                entries.remove(key);
+                // The entry is dead for normal reads but deliberately
+                // *retained*: it is the serve-stale fallback when the
+                // authoritative meta server is unreachable (paper §4 —
+                // meta-naming data changes slowly, so stale data beats
+                // no data). A successful refetch overwrites it in place.
                 if record_stats {
                     self.stats.expired.fetch_add(1, Ordering::Relaxed);
                 }
@@ -511,6 +532,44 @@ impl HnsCache {
             CacheLookup::Hit { value, .. } => Some((*value).clone()),
             CacheLookup::NegativeHit | CacheLookup::Miss => None,
         }
+    }
+
+    /// Probes `key` for an **expired** positive entry — the serve-stale
+    /// fallback used when the authoritative meta server is unreachable
+    /// (paper §4: meta-naming data changes slowly, so stale data beats
+    /// no data). Charges the probe plus the form-dependent hit cost and
+    /// counts one `stale_serves` on success. Live entries, negatives,
+    /// absent keys, and a disabled cache all return `None` — the normal
+    /// lookup path is never bypassed for live data.
+    pub fn lookup_stale(&self, world: &World, key: &MetaKey) -> Option<StaleEntry> {
+        if self.mode() == CacheMode::Disabled {
+            return None;
+        }
+        world.charge_ms(world.costs.cache_probe);
+        let now = world.now();
+        let entries = self.shard(key).entries.lock();
+        let entry = entries.get(key)?;
+        if entry.expires_at > now {
+            return None;
+        }
+        let value = match &entry.stored {
+            Stored::Bytes(bytes) => {
+                world.charge_ms(world.costs.cache_hit(CacheForm::Marshalled, entry.rrs));
+                Arc::new(wire::xdr::decode(bytes).ok()?)
+            }
+            Stored::Decoded(v) => {
+                world.charge_ms(world.costs.cache_hit(CacheForm::Demarshalled, entry.rrs));
+                Arc::clone(v)
+            }
+            Stored::Negative => return None,
+        };
+        let stale_for_secs = (now.saturating_since(entry.expires_at).as_us() / 1_000_000) as u32;
+        self.stats.stale_serves.fetch_add(1, Ordering::Relaxed);
+        Some(StaleEntry {
+            value,
+            rrs: entry.rrs,
+            stale_for_secs,
+        })
     }
 
     /// True if a live (positive) entry exists. Charges nothing and moves
@@ -669,6 +728,12 @@ impl HnsCache {
         metrics.set_counter(component, "coalesced", s.coalesced);
         metrics.set_counter(component, "inserts", s.inserts);
         metrics.set_counter(component, "preloaded", s.preloaded);
+        // Published only once exercised, preserving fault-free snapshots
+        // byte-for-byte (the same lazy-registration convention the
+        // handle-cached counters follow).
+        if s.stale_serves > 0 {
+            metrics.set_counter(component, "stale_serves", s.stale_serves);
+        }
         metrics.set_counter(component, "entries", self.len() as u64);
     }
 }
@@ -736,17 +801,69 @@ mod tests {
     }
 
     #[test]
-    fn ttl_expiry_evicts() {
+    fn ttl_expiry_hides_but_retains_the_entry() {
         let world = simnet::World::paper();
         let cache = HnsCache::new(CacheMode::Demarshalled);
         cache.insert(&world, key(), &value(), 1, 1); // 1 second
         world.charge_ms(1_500.0);
-        assert!(cache.get(&world, &key()).is_none());
-        assert!(cache.is_empty());
+        assert!(cache.get(&world, &key()).is_none(), "dead for normal reads");
+        assert_eq!(cache.len(), 1, "retained as the serve-stale fallback");
         let stats = cache.stats();
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.expired, 1, "expiry is its own counter");
         assert_eq!(stats.misses, 0, "an expiry is not a plain miss");
+    }
+
+    #[test]
+    fn lookup_stale_serves_only_expired_positives() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        cache.insert(&world, key(), &value(), 1, 1);
+        assert!(
+            cache.lookup_stale(&world, &key()).is_none(),
+            "live entries go through the normal path"
+        );
+        world.charge_ms(3_500.0);
+        let stale = cache.lookup_stale(&world, &key()).expect("stale fallback");
+        assert_eq!(*stale.value, value());
+        assert_eq!(stale.rrs, 1);
+        assert_eq!(stale.stale_for_secs, 2, "3.5 s elapsed on a 1 s TTL");
+        assert_eq!(cache.stats().stale_serves, 1);
+        // A refetch overwrites the stale entry in place.
+        cache.insert(&world, key(), &value(), 1, 600);
+        assert_eq!(cache.get(&world, &key()), Some(value()));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lookup_stale_never_serves_negatives_absent_or_disabled() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Demarshalled);
+        assert!(cache.lookup_stale(&world, &key()).is_none(), "absent");
+        cache.set_negative_ttl(1);
+        cache.insert_negative(&world, key());
+        world.charge_ms(2_000.0);
+        assert!(
+            cache.lookup_stale(&world, &key()).is_none(),
+            "an expired negative is not servable data"
+        );
+        let disabled = HnsCache::new(CacheMode::Disabled);
+        assert!(disabled.lookup_stale(&world, &key()).is_none());
+        assert_eq!(cache.stats().stale_serves, 0);
+    }
+
+    #[test]
+    fn lookup_stale_decodes_marshalled_entries() {
+        let world = simnet::World::paper();
+        let cache = HnsCache::new(CacheMode::Marshalled);
+        cache.insert(&world, key(), &value(), 1, 1);
+        world.charge_ms(1_500.0);
+        let (stale, took, _) = world.measure(|| cache.lookup_stale(&world, &key()));
+        let stale = stale.expect("stale fallback");
+        assert_eq!(*stale.value, value());
+        // probe (0.05) + marshalled hit for 1 RR (11.11): stale hits pay
+        // the same access cost a live hit would.
+        assert!((took.as_ms_f64() - 11.16).abs() < 0.1, "took {took}");
     }
 
     #[test]

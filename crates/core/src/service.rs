@@ -17,7 +17,7 @@
 //! remote data mappings; each is individually cached.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -59,6 +59,10 @@ pub struct Hns {
     linked_nsms: RwLock<Arc<HashMap<String, Arc<dyn Nsm>>>>,
     batching: AtomicBool,
     handles: HnsMetricHandles,
+    /// Serve-stale fallbacks performed, for the per-query
+    /// [`FindNsmReport::stale_served`] marker (the cache keeps its own
+    /// aggregate in `HnsCacheStats::stale_serves`).
+    stale_serves: AtomicU64,
 }
 
 /// Cached registry handles for the per-query metrics, resolved on first
@@ -75,6 +79,7 @@ struct HnsMetricHandles {
     mapping_us: [LazyHistogram; 6],
     batch_prefetch_us: LazyHistogram,
     linked_calls: LazyCounter,
+    stale_served: LazyCounter,
 }
 
 /// Record sets piggybacked by the meta server on a batched fetch, keyed by
@@ -98,6 +103,9 @@ pub struct FindNsmReport {
     pub remote_round_trips: u64,
     /// Whether the batched MQUERY pipeline was enabled for this query.
     pub batched: bool,
+    /// Whether any mapping fell back to an expired cache entry because
+    /// the authoritative server was unreachable (serve-stale, paper §4).
+    pub stale_served: bool,
     /// Virtual time the query took.
     pub took: SimDuration,
 }
@@ -133,6 +141,7 @@ impl Hns {
             linked_nsms: RwLock::new(Arc::new(HashMap::new())),
             batching: AtomicBool::new(false),
             handles: HnsMetricHandles::default(),
+            stale_serves: AtomicU64::new(0),
         }
     }
 
@@ -275,6 +284,25 @@ impl Hns {
                         self.cache.insert_negative(self.world(), cache_key);
                         return Err(HnsError::Rpc(RpcError::NotFound(n)));
                     }
+                    Err(HnsError::Rpc(err)) if err.is_unreachable() => {
+                        // Serve-stale (paper §4): the meta server is down
+                        // or cut off, but an expired entry may still be
+                        // in the cache — meta-naming data changes slowly,
+                        // so stale data beats no data. The entry stays
+                        // expired; the next walk retries the fetch and a
+                        // success overwrites it.
+                        if let Some(stale) = self.cache.lookup_stale(self.world(), &cache_key) {
+                            self.note_stale_serve(|| format!("meta {key} ({err})"));
+                            let payloads = Self::value_to_payloads(&stale.value)?;
+                            let rrs = payloads.len();
+                            return Ok(Fetched {
+                                value: payloads,
+                                rrs,
+                                ttl_secs: 0,
+                            });
+                        }
+                        return Err(HnsError::Rpc(err));
+                    }
                     Err(other) => return Err(other),
                 };
                 let value = Value::List(fetched.value.iter().map(Value::str).collect());
@@ -287,6 +315,28 @@ impl Hns {
                 );
                 Ok(fetched)
             }
+        }
+    }
+
+    /// Accounts one serve-stale fallback: bumps the per-instance marker
+    /// counter and the `faults/stale_served` metric, annotates the
+    /// current span with [`CacheOutcome::Stale`], and traces the event
+    /// (label built lazily — this path only runs under faults, but the
+    /// convention keeps tracing free when disabled).
+    fn note_stale_serve(&self, label: impl FnOnce() -> String) {
+        self.stale_serves.fetch_add(1, Ordering::Relaxed);
+        let world = self.world();
+        world.cache_outcome(CacheOutcome::Stale);
+        self.handles
+            .stale_served
+            .get(world.metrics(), "faults", "stale_served")
+            .inc();
+        if world.tracer.is_enabled() {
+            world.trace(
+                Some(self.host),
+                TraceKind::Hns,
+                format!("stale_served: {}", label()),
+            );
         }
     }
 
@@ -376,11 +426,25 @@ impl Hns {
             let span = world.span_lazy(Some(self.host), TraceKind::Nsm, || {
                 format!("linked NSM {ha_nsm_name}: {host_name} -> address")
             });
-            let reply = linked
-                .handle(&hns_name, &Value::Void)
-                .map_err(HnsError::Rpc)?;
+            let reply = linked.handle(&hns_name, &Value::Void);
             drop(span);
             reply
+        };
+        let reply = match reply {
+            Ok(reply) => reply,
+            Err(err) if err.is_unreachable() => {
+                // Serve-stale for mapping 6: an expired host-address
+                // entry still names the right host far more often than
+                // not (paper §4).
+                if let Some(stale) = self.cache.lookup_stale(self.world(), &cache_key) {
+                    self.note_stale_serve(|| format!("hostaddr {host_name} ({err})"));
+                    return Ok(HostId(
+                        stale.value.u32_field("host").map_err(HnsError::from)?,
+                    ));
+                }
+                return Err(HnsError::Rpc(err));
+            }
+            Err(err) => return Err(HnsError::Rpc(err)),
         };
         let host = HostId(reply.u32_field("host").map_err(HnsError::from)?);
         let ttl = reply.u32_field("ttl").unwrap_or(crate::meta::META_TTL);
@@ -461,9 +525,11 @@ impl Hns {
         });
         let t0 = world.now();
         let calls0 = world.counters().remote_calls;
+        let stale0 = self.stale_serves.load(Ordering::Relaxed);
         let result = self.find_nsm_inner(qc, name, batched);
         let took = world.now().since(t0);
         let remote_round_trips = world.counters().remote_calls.saturating_sub(calls0);
+        let stale_served = self.stale_serves.load(Ordering::Relaxed) > stale0;
         span.add_round_trips(remote_round_trips);
         drop(span);
 
@@ -506,6 +572,7 @@ impl Hns {
             FindNsmReport {
                 remote_round_trips,
                 batched,
+                stale_served,
                 took,
             },
         ))

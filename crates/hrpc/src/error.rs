@@ -37,6 +37,27 @@ pub enum RpcError {
     NotFound(String),
     /// Authentication was rejected (Clearinghouse-style services).
     AuthFailed(String),
+    /// The target host is crashed or partitioned away; the control
+    /// protocol gave up after its attempt budget with backoff.
+    HostUnreachable {
+        /// The unreachable host.
+        host: HostId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl RpcError {
+    /// True for availability failures — the target never answered
+    /// (unreachable host or exhausted retransmissions) — as opposed to
+    /// definitive answers like [`RpcError::NotFound`]. Serve-stale and
+    /// NSM failover trigger only on these.
+    pub fn is_unreachable(&self) -> bool {
+        matches!(
+            self,
+            RpcError::HostUnreachable { .. } | RpcError::Timeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for RpcError {
@@ -56,6 +77,9 @@ impl fmt::Display for RpcError {
             }
             RpcError::NotFound(name) => write!(f, "not found: {name}"),
             RpcError::AuthFailed(who) => write!(f, "authentication failed for {who}"),
+            RpcError::HostUnreachable { host, attempts } => {
+                write!(f, "host {host} unreachable after {attempts} attempts")
+            }
         }
     }
 }
@@ -105,10 +129,29 @@ mod tests {
             (RpcError::Timeout { attempts: 4 }, "4 attempts"),
             (RpcError::NotFound("fiji".into()), "fiji"),
             (RpcError::AuthFailed("guest".into()), "guest"),
+            (
+                RpcError::HostUnreachable {
+                    host: HostId(5),
+                    attempts: 3,
+                },
+                "unreachable after 3 attempts",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");
         }
+    }
+
+    #[test]
+    fn unreachable_classification() {
+        assert!(RpcError::HostUnreachable {
+            host: HostId(1),
+            attempts: 3
+        }
+        .is_unreachable());
+        assert!(RpcError::Timeout { attempts: 4 }.is_unreachable());
+        assert!(!RpcError::NotFound("x".into()).is_unreachable());
+        assert!(!RpcError::Service("x".into()).is_unreachable());
     }
 
     #[test]

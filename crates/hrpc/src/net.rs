@@ -16,8 +16,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use simnet::faults::FaultKind;
 use simnet::obs::{LazyCounter, LazyHistogram};
-use simnet::rng::DetRng;
 use simnet::topology::{HostId, NetAddr};
 use simnet::trace::TraceKind;
 use simnet::world::World;
@@ -54,26 +54,64 @@ struct NetTables {
     next_port: HashMap<HostId, u16>,
 }
 
+/// The request leg of a datagram exchange, for [`LossPlan::would_drop`].
+pub const LEG_REQUEST: u8 = 0;
+/// The reply leg of a datagram exchange, for [`LossPlan::would_drop`].
+pub const LEG_REPLY: u8 = 1;
+
 /// Deterministic datagram-loss injection.
-#[derive(Debug)]
+///
+/// Each draw is *hash-derived* from `(seed, xid, attempt, leg)` rather
+/// than consumed from a shared sequential RNG stream. The seed design
+/// advanced one `DetRng` under the `loss` mutex on every datagram
+/// attempt, so the thread interleaving of a concurrent load generator
+/// changed which call observed which draw — same seed, different loss
+/// pattern. A hash-derived draw is a pure function of the call it
+/// belongs to: concurrency cannot reorder it.
+#[derive(Debug, Clone, Copy)]
 pub struct LossPlan {
     /// Probability that any single datagram attempt is lost.
     pub drop_prob: f64,
-    rng: DetRng,
+    seed: u64,
 }
 
 impl LossPlan {
     /// Creates a loss plan with the given drop probability and seed.
     pub fn new(drop_prob: f64, seed: u64) -> Self {
-        LossPlan {
-            drop_prob,
-            rng: DetRng::new(seed),
-        }
+        LossPlan { drop_prob, seed }
     }
 
-    fn drops(&mut self) -> bool {
-        self.rng.chance(self.drop_prob)
+    /// Whether the datagram for (`xid`, `attempt`, `leg`) is lost.
+    ///
+    /// Pure: equal inputs always agree, regardless of how calls from
+    /// different threads interleave. Uses the same splitmix64 finalizer
+    /// as [`simnet::rng::DetRng`] over the mixed key.
+    pub fn would_drop(&self, xid: u64, attempt: u32, leg: u8) -> bool {
+        let mut z = self
+            .seed
+            .wrapping_add(xid.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(
+                ((u64::from(attempt) << 8) | u64::from(leg)).wrapping_mul(0x94D0_49BB_1331_11EB),
+            );
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) < self.drop_prob
     }
+}
+
+/// Base of the capped exponential backoff charged between attempts to
+/// an unreachable (crashed or partitioned) host, in virtual ms.
+pub const RETRY_BACKOFF_BASE_MS: f64 = 50.0;
+/// Cap of the exponential backoff, in virtual ms.
+pub const RETRY_BACKOFF_CAP_MS: f64 = 800.0;
+
+/// Backoff charged after failed `attempt` (1-based) to an unreachable
+/// host: 50, 100, 200, 400, 800, 800, … virtual milliseconds. Charged
+/// against the virtual clock only — never wall-clock.
+pub fn retry_backoff_ms(attempt: u32) -> f64 {
+    let exp = attempt.saturating_sub(1).min(10);
+    (RETRY_BACKOFF_BASE_MS * f64::from(1u32 << exp)).min(RETRY_BACKOFF_CAP_MS)
 }
 
 /// Total reply-cache entries kept for at-most-once bookkeeping.
@@ -153,13 +191,17 @@ struct CallMetricHandles {
     datagrams_lost: LazyCounter,
     reply_cache_hits: LazyCounter,
     call_errors: LazyCounter,
+    fault_crashed: LazyCounter,
+    fault_partitioned: LazyCounter,
+    fault_spiked: LazyCounter,
+    fault_unreachable: LazyCounter,
 }
 
 /// The RPC fabric shared by all simulated components.
 pub struct RpcNet {
     world: Arc<World>,
     tables: RwLock<Arc<NetTables>>,
-    loss: Mutex<Option<LossPlan>>,
+    loss: RwLock<Option<LossPlan>>,
     next_xid: std::sync::atomic::AtomicU64,
     replies: ReplyCache,
     call_metrics: CallMetricHandles,
@@ -171,7 +213,7 @@ impl RpcNet {
         Arc::new(RpcNet {
             world,
             tables: RwLock::new(Arc::new(NetTables::default())),
-            loss: Mutex::new(None),
+            loss: RwLock::new(None),
             next_xid: std::sync::atomic::AtomicU64::new(1),
             replies: ReplyCache::new(REPLY_CACHE_LIMIT),
             call_metrics: CallMetricHandles::default(),
@@ -185,7 +227,7 @@ impl RpcNet {
 
     /// Installs (or clears) datagram loss injection.
     pub fn set_loss(&self, plan: Option<LossPlan>) {
-        *self.loss.lock() = plan;
+        *self.loss.write() = plan;
     }
 
     /// Exports `service` on `host` under `program`, assigning a fresh port.
@@ -285,12 +327,11 @@ impl RpcNet {
             .ok_or_else(|| RpcError::NotFound(format!("service `{name}` on {host}")))
     }
 
-    fn datagram_dropped(&self) -> bool {
+    fn datagram_dropped(&self, xid: u64, attempt: u32, leg: u8) -> bool {
         self.loss
-            .lock()
-            .as_mut()
-            .map(LossPlan::drops)
-            .unwrap_or(false)
+            .read()
+            .as_ref()
+            .is_some_and(|plan| plan.would_drop(xid, attempt, leg))
     }
 
     /// Makes a synchronous call through `binding`, charging network costs.
@@ -314,7 +355,28 @@ impl RpcNet {
         let req_bytes = components.data_rep.encode(args)?;
         let decoded_args = components.data_rep.decode(&req_bytes)?;
 
+        let faults = self.world.faults();
+
         if self.world.topology.colocated(caller, binding.host) {
+            // Even a colocated call observes a crash window: the caller
+            // and the target died together, and there is no network to
+            // retry over, so the failure is immediate.
+            if let Some(plan) = &faults {
+                if plan.host_down(binding.host, self.world.now()) {
+                    self.call_metrics
+                        .fault_crashed
+                        .get(self.world.metrics(), "faults", "crashed_attempts")
+                        .inc();
+                    self.call_metrics
+                        .fault_unreachable
+                        .get(self.world.metrics(), "faults", "unreachable_calls")
+                        .inc();
+                    return Err(RpcError::HostUnreachable {
+                        host: binding.host,
+                        attempts: 1,
+                    });
+                }
+            }
             self.world.charge_ms(self.world.costs.local_call);
             self.world.count_local_call();
             let reply = self.serve(caller, binding, proc_id, &decoded_args)?;
@@ -345,14 +407,71 @@ impl RpcNet {
             )
         });
         let t0 = self.world.now();
+        // Crash/partition outages are retried up to the control
+        // protocol's attempt budget even on stream transports: the
+        // connection attempt itself times out and is retried.
+        let fault_budget = components.control.max_attempts();
         let mut attempts = 0;
         let result = loop {
             attempts += 1;
             self.world.charge_ms(per_req);
             self.world.count_remote_call(req_bytes.len() as u64);
 
+            // Fault legs: a crashed or partitioned target answers
+            // nothing, so the attempt is spent and the caller backs off
+            // exponentially before retrying, up to the budget.
+            if let Some(kind) = faults
+                .as_ref()
+                .and_then(|plan| plan.blocks(caller, binding.host, self.world.now()))
+            {
+                match kind {
+                    FaultKind::Crashed => self
+                        .call_metrics
+                        .fault_crashed
+                        .get(self.world.metrics(), "faults", "crashed_attempts")
+                        .inc(),
+                    FaultKind::Partitioned => self
+                        .call_metrics
+                        .fault_partitioned
+                        .get(self.world.metrics(), "faults", "partitioned_attempts")
+                        .inc(),
+                }
+                self.world.trace(
+                    Some(caller),
+                    TraceKind::Rpc,
+                    format!("{} unreachable: {kind} (attempt {attempts})", binding.host),
+                );
+                if attempts >= fault_budget {
+                    self.call_metrics
+                        .fault_unreachable
+                        .get(self.world.metrics(), "faults", "unreachable_calls")
+                        .inc();
+                    break Err(RpcError::HostUnreachable {
+                        host: binding.host,
+                        attempts,
+                    });
+                }
+                self.world.charge_ms(retry_backoff_ms(attempts));
+                continue;
+            }
+
+            // An active latency spike slows the attempt without
+            // blocking it.
+            if let Some(extra) = faults
+                .as_ref()
+                .map(|plan| plan.extra_latency_ms(caller, binding.host, self.world.now()))
+            {
+                if extra > 0.0 {
+                    self.call_metrics
+                        .fault_spiked
+                        .get(self.world.metrics(), "faults", "spiked_attempts")
+                        .inc();
+                    self.world.charge_ms(extra);
+                }
+            }
+
             // Request leg.
-            if datagram && self.datagram_dropped() {
+            if datagram && self.datagram_dropped(xid, attempts, LEG_REQUEST) {
                 self.call_metrics
                     .datagrams_lost
                     .get(self.world.metrics(), "hrpc_net", "datagrams_lost")
@@ -396,7 +515,7 @@ impl RpcNet {
             };
 
             // Response leg.
-            if datagram && self.datagram_dropped() {
+            if datagram && self.datagram_dropped(xid, attempts, LEG_REPLY) {
                 self.call_metrics
                     .datagrams_lost
                     .get(self.world.metrics(), "hrpc_net", "datagrams_lost")
@@ -788,14 +907,17 @@ mod tests {
         };
         net.export(server, ProgramId(77), counted);
         let b = binding_for(&net, server, ComponentSet::raw_udp_at_most_once(0));
-        // Each attempt draws twice (request leg, reply leg). Pick a seed
-        // whose first four draws are [keep, drop, keep, keep]: request
-        // delivered, reply lost, retransmission delivered and answered.
+        // The first call on a fresh net has xid 1 and each attempt has a
+        // request and a reply leg. Pick a seed where attempt 1 delivers
+        // the request but loses the reply, and attempt 2 delivers both:
+        // the retransmission must be answered from the reply cache.
         let seed = (0..100_000u64)
             .find(|&s| {
-                let mut rng = DetRng::new(s);
-                let draws: Vec<bool> = (0..4).map(|_| rng.chance(0.5)).collect();
-                draws == [false, true, false, false]
+                let plan = LossPlan::new(0.5, s);
+                !plan.would_drop(1, 1, LEG_REQUEST)
+                    && plan.would_drop(1, 1, LEG_REPLY)
+                    && !plan.would_drop(1, 2, LEG_REQUEST)
+                    && !plan.would_drop(1, 2, LEG_REPLY)
             })
             .expect("a drop-reply-only seed exists");
         net.set_loss(Some(LossPlan::new(0.5, seed)));
@@ -809,6 +931,118 @@ mod tests {
         let snap = world.metrics().snapshot();
         assert_eq!(snap.counter("hrpc_net", "reply_cache_hits"), Some(1));
         assert_eq!(snap.counter("hrpc_net", "datagrams_lost"), Some(1));
+    }
+
+    #[test]
+    fn crashed_host_fails_fast_with_typed_error_and_backoff() {
+        use simnet::faults::FaultPlan;
+
+        let (world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::sun());
+
+        let mut plan = FaultPlan::new();
+        plan.crash(server, world.now(), None);
+        world.set_faults(Some(plan));
+
+        let (result, took, delta) = world.measure(|| net.call(client, &b, 1, &Value::Void));
+        assert!(
+            matches!(result, Err(RpcError::HostUnreachable { host, attempts: 3 }) if host == server),
+            "{result:?}"
+        );
+        // Three charged attempts (~33 ms each) plus backoffs 50 + 100.
+        assert!(took.as_ms_f64() >= 3.0 * 33.0 + 150.0, "took {took}");
+        assert_eq!(delta.remote_calls, 3);
+
+        let snap = world.metrics().snapshot();
+        assert_eq!(snap.counter("faults", "crashed_attempts"), Some(3));
+        assert_eq!(snap.counter("faults", "unreachable_calls"), Some(1));
+
+        // Clearing the plan heals the host.
+        world.set_faults(None);
+        assert!(net.call(client, &b, 1, &Value::Void).is_ok());
+    }
+
+    #[test]
+    fn partition_blocks_link_until_window_closes() {
+        use simnet::faults::FaultPlan;
+        use simnet::time::SimDuration;
+
+        let (world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::raw_tcp(0));
+
+        let heal = world.now() + SimDuration::from_ms(10_000);
+        let mut plan = FaultPlan::new();
+        plan.partition(client, server, world.now(), Some(heal));
+        world.set_faults(Some(plan));
+
+        // raw_tcp's control protocol budgets a single attempt.
+        let result = net.call(client, &b, 1, &Value::Void);
+        assert!(
+            matches!(result, Err(RpcError::HostUnreachable { attempts: 1, .. })),
+            "{result:?}"
+        );
+        assert_eq!(
+            world
+                .metrics()
+                .snapshot()
+                .counter("faults", "partitioned_attempts"),
+            Some(1)
+        );
+
+        // The same plan heals once virtual time passes the window.
+        let now = world.now();
+        world.charge(heal.since(now) + SimDuration::from_ms(1));
+        assert!(net.call(client, &b, 1, &Value::Void).is_ok());
+    }
+
+    #[test]
+    fn latency_spike_slows_but_does_not_block() {
+        use simnet::faults::FaultPlan;
+
+        let (world, net, client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::sun());
+
+        let (_r, clean, _d) = world.measure(|| net.call(client, &b, 1, &Value::Void));
+
+        let mut plan = FaultPlan::new();
+        plan.latency_spike(client, server, world.now(), None, 250.0);
+        world.set_faults(Some(plan));
+        let (result, spiked, _d) = world.measure(|| net.call(client, &b, 1, &Value::Void));
+        assert!(result.is_ok(), "a spike must not fail the call");
+        assert!(
+            (spiked.as_ms_f64() - clean.as_ms_f64() - 250.0).abs() < 1.0,
+            "clean {clean}, spiked {spiked}"
+        );
+        assert_eq!(
+            world
+                .metrics()
+                .snapshot()
+                .counter("faults", "spiked_attempts"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn colocated_call_to_crashed_host_fails_immediately() {
+        use simnet::faults::FaultPlan;
+
+        let (world, net, _client, server) = setup();
+        net.export(server, ProgramId(77), echo_service());
+        let b = binding_for(&net, server, ComponentSet::sun());
+
+        let mut plan = FaultPlan::new();
+        plan.crash(server, world.now(), None);
+        world.set_faults(Some(plan));
+        let (result, took, delta) = world.measure(|| net.call(server, &b, 1, &Value::U32(5)));
+        assert!(
+            matches!(result, Err(RpcError::HostUnreachable { attempts: 1, .. })),
+            "{result:?}"
+        );
+        assert_eq!(took.as_us(), 0, "no retries, no backoff: the host is dead");
+        assert_eq!(delta.local_calls, 0);
     }
 
     #[test]

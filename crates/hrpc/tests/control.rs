@@ -4,9 +4,13 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use hrpc::net::{LossPlan, RpcNet};
+use hrpc::net::{
+    retry_backoff_ms, LossPlan, RpcNet, LEG_REPLY, LEG_REQUEST, RETRY_BACKOFF_BASE_MS,
+    RETRY_BACKOFF_CAP_MS,
+};
 use hrpc::server::{CallCtx, RpcService};
 use hrpc::{ComponentSet, HrpcBinding, ProgramId, RpcError, RpcResult};
+use simnet::faults::FaultPlan;
 use simnet::topology::{HostId, NetAddr};
 use simnet::world::World;
 use wire::Value;
@@ -165,6 +169,130 @@ fn total_loss_times_out_with_attempt_budget() {
     let err = env.net.call(env.client, &b, 1, &Value::Void).unwrap_err();
     assert!(matches!(err, RpcError::Timeout { attempts: 4 }), "{err}");
     assert_eq!(env.counter.executions.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn backoff_is_capped_exponential() {
+    // 50 · 2^(attempt−1), capped at 800 ms, for any attempt number.
+    assert_eq!(retry_backoff_ms(1), RETRY_BACKOFF_BASE_MS);
+    assert_eq!(retry_backoff_ms(2), 100.0);
+    assert_eq!(retry_backoff_ms(3), 200.0);
+    assert_eq!(retry_backoff_ms(4), 400.0);
+    assert_eq!(retry_backoff_ms(5), 800.0);
+    assert_eq!(retry_backoff_ms(6), RETRY_BACKOFF_CAP_MS, "capped");
+    assert_eq!(retry_backoff_ms(100), RETRY_BACKOFF_CAP_MS, "no overflow");
+    assert_eq!(retry_backoff_ms(0), RETRY_BACKOFF_BASE_MS, "degenerate");
+}
+
+#[test]
+fn crashed_host_honors_attempt_budget_and_charges_virtual_backoff() {
+    let env = env();
+    let mut plan = FaultPlan::new();
+    plan.crash(env.server, env.world.now(), None);
+    env.world.set_faults(Some(plan));
+
+    let b = binding(&env, ComponentSet::raw_udp(env.port));
+    let budget = b.components.control.max_attempts();
+    let wall = std::time::Instant::now();
+    let (result, took, _) = env
+        .world
+        .measure(|| env.net.call(env.client, &b, 1, &Value::Void));
+    let wall = wall.elapsed();
+
+    match result.unwrap_err() {
+        RpcError::HostUnreachable { host, attempts } => {
+            assert_eq!(host, env.server);
+            assert_eq!(attempts, budget, "gave up exactly at the budget");
+        }
+        other => panic!("expected HostUnreachable, got {other}"),
+    }
+    assert_eq!(env.counter.executions.load(Ordering::SeqCst), 0);
+    // The backoff between the budget's attempts is charged to *virtual*
+    // time (50 + 100 + 200 ms for a budget of 4)…
+    let backoff_ms: f64 = (1..budget).map(retry_backoff_ms).sum();
+    assert!(
+        took.as_ms_f64() >= backoff_ms,
+        "virtual time must include the backoff: {} < {backoff_ms}",
+        took.as_ms_f64()
+    );
+    // …while wall-clock time stays at simulation speed: nothing sleeps.
+    assert!(
+        wall < std::time::Duration::from_secs(2),
+        "backoff must not sleep on the wall clock: {wall:?}"
+    );
+
+    env.world.set_faults(None);
+    env.net
+        .call(env.client, &b, 1, &Value::Void)
+        .expect("heals");
+}
+
+/// Regression for the loss-determinism bug: the old implementation drew
+/// from a shared RNG under the loss mutex on every datagram attempt, so
+/// the *order* of concurrent loadgen threads changed which calls lost
+/// their datagrams. Hash-derived draws depend only on (xid, attempt,
+/// leg), so an 8-thread run must match a sequential replay exactly.
+#[test]
+fn concurrent_loss_draws_are_order_independent() {
+    const THREADS: u64 = 8;
+    const CALLS_PER_THREAD: u64 = 50;
+    let plan = LossPlan::new(0.5, 1987);
+
+    let env = env();
+    env.net.set_loss(Some(plan));
+    let b = binding(&env, ComponentSet::raw_udp(env.port));
+    let budget = b.components.control.max_attempts();
+    let ok = Arc::new(AtomicU32::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let env = &env;
+            let b = &b;
+            let ok = Arc::clone(&ok);
+            scope.spawn(move || {
+                for _ in 0..CALLS_PER_THREAD {
+                    if env.net.call(env.client, b, 1, &Value::Void).is_ok() {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    env.net.set_loss(None);
+
+    // Sequential replay over the same xid range (fresh nets assign xids
+    // from 1): per xid, walk the attempts the control protocol makes and
+    // classify from the pure per-(xid, attempt, leg) draws alone.
+    let mut expect_ok = 0u32;
+    let mut expect_lost = 0u64;
+    for xid in 1..=(THREADS * CALLS_PER_THREAD) {
+        let mut succeeded = false;
+        for attempt in 1..=budget {
+            if plan.would_drop(xid, attempt, LEG_REQUEST) {
+                expect_lost += 1;
+                continue;
+            }
+            if plan.would_drop(xid, attempt, LEG_REPLY) {
+                expect_lost += 1;
+                continue;
+            }
+            succeeded = true;
+            break;
+        }
+        if succeeded {
+            expect_ok += 1;
+        }
+    }
+    assert_eq!(
+        ok.load(Ordering::SeqCst),
+        expect_ok,
+        "thread interleaving must not change which calls fail"
+    );
+    let snap = env.world.metrics().snapshot();
+    assert_eq!(
+        snap.counter("hrpc_net", "datagrams_lost"),
+        Some(expect_lost),
+        "…nor how many datagrams were lost"
+    );
 }
 
 #[test]

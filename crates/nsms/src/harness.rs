@@ -28,7 +28,7 @@ use hns_core::query::QueryClass;
 use hns_core::service::Hns;
 use hrpc::net::RpcNet;
 use hrpc::server::ProcServer;
-use hrpc::ProgramId;
+use hrpc::{HrpcBinding, ProgramId};
 use simnet::topology::{HostId, NetAddr};
 use simnet::world::World;
 use wire::Value;
@@ -408,6 +408,30 @@ impl Testbed {
             bind: bind_nsm,
             ch: ch_nsm,
             host,
+        }
+    }
+
+    /// Deploys a replica of the BIND-backed binding NSM on `host` and
+    /// returns its binding, *without* touching the meta-store
+    /// registration: `FindNSM` keeps designating the primary, and the
+    /// replica only serves as an [`crate::import::Importer`] failover
+    /// target when the primary's host is crashed or partitioned away.
+    pub fn deploy_binding_bind_replica(&self, host: HostId, form: NsmCacheForm) -> HrpcBinding {
+        let nsm = BindingBindNsm::new(
+            Arc::clone(&self.net),
+            host,
+            self.std_resolver(host),
+            NameMapping::Identity,
+            form,
+        );
+        let program = ProgramId(NSM_EXPORT_PROGRAM.0 + 8);
+        let port = self.net.export(host, program, NsmService::new(nsm));
+        HrpcBinding {
+            host,
+            addr: NetAddr::of(host),
+            program,
+            port,
+            components: SuiteTag::Sun.components(port),
         }
     }
 

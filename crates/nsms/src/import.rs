@@ -22,13 +22,18 @@ use hns_core::nsm::NsmClient;
 use hns_core::query::QueryClass;
 use hrpc::net::RpcNet;
 use hrpc::{HrpcBinding, ProgramId};
+use parking_lot::Mutex;
 use simnet::topology::HostId;
+use simnet::trace::TraceKind;
 use wire::Value;
 
 /// The HRPC `Import` entry point for one client process.
 pub struct Importer {
+    net: Arc<RpcNet>,
+    host: HostId,
     hns: HnsClient,
     nsm: NsmClient,
+    alternate_nsm: Mutex<Option<HrpcBinding>>,
 }
 
 impl Importer {
@@ -37,8 +42,19 @@ impl Importer {
     pub fn new(net: Arc<RpcNet>, host: HostId, handle: HnsHandle) -> Self {
         Importer {
             hns: HnsClient::new(Arc::clone(&net), host, handle),
-            nsm: NsmClient::new(net, host),
+            nsm: NsmClient::new(Arc::clone(&net), host),
+            net,
+            host,
+            alternate_nsm: Mutex::new(None),
         }
+    }
+
+    /// Links an alternate binding NSM (typically a replica on another
+    /// host). When the NSM designated by `FindNSM` is unreachable —
+    /// crashed or partitioned away — `import` fails over to this binding
+    /// instead of surfacing the error.
+    pub fn set_alternate_nsm(&self, binding: Option<HrpcBinding>) {
+        *self.alternate_nsm.lock() = binding;
     }
 
     /// Imports a service: returns a binding the client can call.
@@ -51,17 +67,41 @@ impl Importer {
         // FindNSM: which NSM understands binding for this context?
         let nsm_binding = self.hns.find_nsm(&QueryClass::hrpc_binding(), host_name)?;
         // Call the designated binding NSM with the original HNS name.
-        let reply = self
-            .nsm
-            .call(
-                &nsm_binding,
-                host_name,
-                vec![
-                    ("service", Value::str(service_name)),
-                    ("program", Value::U32(program.0)),
-                ],
-            )
-            .map_err(HnsError::Rpc)?;
+        let extra = || {
+            vec![
+                ("service", Value::str(service_name)),
+                ("program", Value::U32(program.0)),
+            ]
+        };
+        let reply = match self.nsm.call(&nsm_binding, host_name, extra()) {
+            Ok(reply) => reply,
+            Err(err) if err.is_unreachable() => {
+                // The designated NSM never answered. If an alternate NSM
+                // on a different host is linked, fail over to it.
+                let alternate = *self.alternate_nsm.lock();
+                match alternate.filter(|alt| alt.host != nsm_binding.host) {
+                    Some(alt) => {
+                        let world = self.net.world();
+                        world.metrics().inc("faults", "nsm_failovers");
+                        if world.tracer.is_enabled() {
+                            world.trace(
+                                Some(self.host),
+                                TraceKind::Nsm,
+                                format!(
+                                    "NSM failover: {} -> {} ({err})",
+                                    nsm_binding.host, alt.host
+                                ),
+                            );
+                        }
+                        self.nsm
+                            .call(&alt, host_name, extra())
+                            .map_err(HnsError::Rpc)?
+                    }
+                    None => return Err(HnsError::Rpc(err)),
+                }
+            }
+            Err(err) => return Err(HnsError::Rpc(err)),
+        };
         HrpcBinding::from_value(&reply).map_err(HnsError::from)
     }
 }

@@ -94,6 +94,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean payload if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parses a complete JSON document, rejecting trailing garbage.

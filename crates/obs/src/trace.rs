@@ -76,6 +76,9 @@ pub enum CacheOutcome {
     Coalesced,
     /// Served from a batch-prefetch overlay before touching the cache.
     Overlay,
+    /// Served from an *expired* entry because the authoritative server
+    /// was unreachable (serve-stale degradation).
+    Stale,
 }
 
 impl fmt::Display for CacheOutcome {
@@ -87,6 +90,7 @@ impl fmt::Display for CacheOutcome {
             CacheOutcome::NegativeHit => "negative",
             CacheOutcome::Coalesced => "coalesced",
             CacheOutcome::Overlay => "overlay",
+            CacheOutcome::Stale => "stale",
         };
         f.write_str(s)
     }

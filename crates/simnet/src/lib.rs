@@ -17,6 +17,8 @@
 //!   structural counters + the unified [`obs::MetricsRegistry`]).
 //! * [`rng`] — a self-contained deterministic PRNG.
 //! * [`des`] — a small discrete-event/queueing core for the load ablation.
+//! * [`faults`] — deterministic fault injection (crash windows, link
+//!   partitions, latency spikes) scheduled in virtual time.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@
 pub mod clock;
 pub mod costs;
 pub mod des;
+pub mod faults;
 pub mod rng;
 pub mod time;
 pub mod topology;
@@ -48,6 +51,7 @@ pub use obs;
 
 pub use clock::{Clock, VirtualClock};
 pub use costs::{CacheForm, CostModel, RpcSuiteKind};
+pub use faults::{FaultKind, FaultPlan};
 pub use time::{SimDuration, SimTime};
 pub use topology::{HostId, NetAddr, Topology};
 pub use world::{CounterSnapshot, World, WorldSpan};

@@ -6,10 +6,11 @@
 //! `Arc<World>` and charges its costs against it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use crate::clock::{Clock, VirtualClock};
 use crate::costs::{CostModel, Ms};
+use crate::faults::FaultPlan;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{HostId, Topology};
 use crate::trace::{CacheOutcome, SpanId, TraceKind, Tracer};
@@ -64,6 +65,7 @@ pub struct World {
     counters: Counters,
     metrics: MetricsRegistry,
     net_handles: NetHandles,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 /// Cached registry handles for the `net` mirror counters, so the
@@ -89,6 +91,7 @@ impl World {
             counters: Counters::default(),
             metrics: MetricsRegistry::new(),
             net_handles: NetHandles::default(),
+            faults: RwLock::new(None),
         })
     }
 
@@ -211,6 +214,22 @@ impl World {
             bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
             ns_lookups: self.counters.ns_lookups.load(Ordering::Relaxed),
         }
+    }
+
+    /// Installs (or, with `None`, clears) the fault plan. With no plan
+    /// installed every fault query is a strict no-op — nothing is
+    /// charged, registered, or traced — so fault-free runs stay
+    /// byte-identical.
+    pub fn set_faults(&self, plan: Option<FaultPlan>) {
+        *self.faults.write().unwrap_or_else(|e| e.into_inner()) = plan.map(Arc::new);
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Measures virtual time and counter deltas over `f`.
@@ -346,6 +365,18 @@ mod tests {
         assert_eq!(snap.counter("net", "remote_calls"), Some(2));
         assert_eq!(snap.counter("net", "bytes_sent"), Some(192));
         assert_eq!(snap.counter("net", "local_calls"), Some(1));
+    }
+
+    #[test]
+    fn fault_plan_installs_and_clears() {
+        let w = World::paper();
+        assert!(w.faults().is_none());
+        let mut plan = FaultPlan::new();
+        plan.crash(HostId(1), w.now(), None);
+        w.set_faults(Some(plan));
+        assert!(w.faults().expect("installed").host_down(HostId(1), w.now()));
+        w.set_faults(None);
+        assert!(w.faults().is_none());
     }
 
     #[test]
