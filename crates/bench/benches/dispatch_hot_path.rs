@@ -1,0 +1,133 @@
+//! Criterion bench: the warm `FindNSM` dispatch hot path, sharded.
+//!
+//! Measures the single-operation cost of a warm lookup at 1/4/8 worker
+//! threads, each worker on its own private stack (the load engine's
+//! sharded dispatch), in two shapes:
+//!
+//! * **walk** — the composed binding cache off: every warm query runs
+//!   the six-mapping walk against the demarshalled per-mapping cache,
+//!   re-parsing payloads along the way (the pre-optimization path), and
+//! * **composed** — the binding cache on: a warm query is one probe
+//!   returning the final `Copy` binding.
+//!
+//! Both run with batched virtual-time charging, the engine's measured
+//! configuration. Workloads are seed-pinned (`DetRng`), so run-to-run
+//! numbers compare the code, not the draw.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hns_core::cache::CacheMode;
+use hns_core::name::{Context, HnsName, NameMapping};
+use hns_core::query::QueryClass;
+use hns_core::service::Hns;
+use nsms::harness::{Testbed, NS_BIND, NS_CH};
+use nsms::nsm_cache::NsmCacheForm;
+use simnet::rng::DetRng;
+
+const CONTEXTS: usize = 12;
+const OPS_PER_THREAD: usize = 2_000;
+
+/// One worker's private warm stack: a testbed kept alive plus a
+/// pre-warmed HNS and its query universe.
+struct WarmStack {
+    _tb: Testbed,
+    hns: Arc<Hns>,
+    ops: Vec<(QueryClass, HnsName)>,
+}
+
+fn build_warm_stack(composed: bool) -> WarmStack {
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Demarshalled);
+    tb.deploy_extension_nsms(tb.hosts.nsm);
+    let registrar = tb.make_hns(tb.hosts.meta, CacheMode::Disabled);
+    let classes = [
+        QueryClass::hrpc_binding(),
+        QueryClass::mailbox_location(),
+        QueryClass::file_location(),
+    ];
+    let mut ops = Vec::new();
+    for i in 0..CONTEXTS {
+        let (ns, individual) = if i % 2 == 0 {
+            (NS_BIND, "fiji.cs.washington.edu")
+        } else {
+            (NS_CH, "printserver:cs:uw")
+        };
+        let ctx = Context::new(format!(
+            "dept{i}-{}",
+            if i % 2 == 0 { "bind" } else { "ch" }
+        ))
+        .expect("ctx");
+        registrar
+            .register_context(&ctx, ns, &NameMapping::Identity)
+            .expect("register");
+        for qc in &classes {
+            ops.push((
+                qc.clone(),
+                HnsName::new(ctx.clone(), individual).expect("name"),
+            ));
+        }
+    }
+    let hns = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    hns.set_binding_cache(composed);
+    for (qc, name) in &ops {
+        hns.find_nsm(qc, name).expect("pre-warm");
+    }
+    tb.world.clock.set_batched(true);
+    WarmStack { _tb: tb, hns, ops }
+}
+
+/// Fans `stacks` out over worker threads, each doing seed-pinned warm
+/// lookups on its own stack; returns wall time for `iters` repetitions.
+fn sharded_run(iters: u64, stacks: &[WarmStack]) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::thread::scope(|scope| {
+            for (t, stack) in stacks.iter().enumerate() {
+                scope.spawn(move || {
+                    let mut rng = DetRng::new(0xD15 + t as u64);
+                    for _ in 0..OPS_PER_THREAD {
+                        let (qc, name) =
+                            &stack.ops[rng.next_below(stack.ops.len() as u64) as usize];
+                        black_box(stack.hns.find_nsm(qc, name)).expect("warm hit");
+                    }
+                    stack._tb.world.clock.flush_local();
+                });
+            }
+        });
+    }
+    start.elapsed()
+}
+
+fn bench_dispatch_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_hot_path");
+    for &threads in &[1usize, 4, 8] {
+        let walk: Vec<WarmStack> = (0..threads).map(|_| build_warm_stack(false)).collect();
+        group.bench_with_input(BenchmarkId::new("walk", threads), &threads, |b, _| {
+            b.iter_custom(|iters| sharded_run(iters, &walk))
+        });
+        drop(walk);
+
+        let composed: Vec<WarmStack> = (0..threads).map(|_| build_warm_stack(true)).collect();
+        group.bench_with_input(BenchmarkId::new("composed", threads), &threads, |b, _| {
+            b.iter_custom(|iters| sharded_run(iters, &composed))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_dispatch_hot_path
+}
+criterion_main!(benches);

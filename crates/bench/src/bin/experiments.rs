@@ -9,6 +9,8 @@
 //! experiments --trace-out t.json # write the traced run's JSON export
 //! experiments --validate-trace t.json   # parse a JSON export, exit 1 on error
 //! experiments loadgen --threads 1,2,4,8 --ops 2000 --out BENCH_throughput.json
+//! experiments loadgen --offered-qps 50000,200000 --open-threads 4 --open-duration-ms 500
+//! experiments loadgen --baseline BENCH_throughput.json --regress 0.5
 //! experiments --validate-load BENCH_throughput.json
 //! experiments chaos --crash --partition --seed 42 --out chaos.json
 //! experiments chaos --seed 42 --validate-chaos   # validate the run's own JSON
@@ -23,7 +25,12 @@
 //! throughput, so it is *not* part of `all` (whose outputs are
 //! deterministic virtual-time tables); run it explicitly. Knobs:
 //! `--threads a,b,c --ops N --duration-ms MS --zipf S --cold F --bind F
-//! --faults --seed N --out PATH`.
+//! --faults --seed N --out PATH`. Open-loop (offered-load) runs ride
+//! along via `--offered-qps q1,q2,... --open-threads N
+//! --open-duration-ms MS`; `--baseline PATH [--regress FACTOR]`
+//! compares the closed-loop sweep against a committed baseline and
+//! fails (exit 1) if any matching thread count drops below
+//! FACTOR × baseline QPS (default 0.5).
 //!
 //! `chaos` is the fault-injection scenario (E-C). It is flag-driven like
 //! `loadgen` and therefore also outside `all`: `--crash`, `--partition`,
@@ -118,7 +125,7 @@ fn validate_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates an `hns-load-v1` throughput baseline.
+/// Validates an `hns-load-v2` throughput baseline.
 fn validate_load(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     loadgen::report::validate(&text).map_err(|e| format!("{path}: {e}"))
@@ -148,6 +155,8 @@ fn main() {
     let mut load_config = loadgen::LoadConfig::default();
     let mut out: Option<String> = None;
     let mut load_validate: Option<String> = None;
+    let mut load_baseline: Option<String> = None;
+    let mut load_regress: f64 = 0.5;
     let mut chaos = false;
     // `None` until a selector flag appears; no selector means all faults.
     let mut chaos_faults: Option<(bool, bool, bool)> = None;
@@ -188,6 +197,27 @@ fn main() {
                     .collect();
             }
             "--ops" => load_config.ops_per_thread = parse_or_die("--ops", it.next()),
+            "--offered-qps" => {
+                let csv: String = parse_or_die("--offered-qps", it.next());
+                load_config.offered_qps = csv
+                    .split(',')
+                    .map(|q| match q.trim().parse::<f64>() {
+                        Ok(q) if q > 0.0 => q,
+                        _ => {
+                            eprintln!("error: --offered-qps: cannot parse `{csv}`");
+                            std::process::exit(1);
+                        }
+                    })
+                    .collect();
+            }
+            "--open-threads" => {
+                load_config.open_threads = parse_or_die("--open-threads", it.next())
+            }
+            "--open-duration-ms" => {
+                load_config.open_duration_ms = parse_or_die("--open-duration-ms", it.next())
+            }
+            "--baseline" => load_baseline = Some(parse_or_die("--baseline", it.next())),
+            "--regress" => load_regress = parse_or_die("--regress", it.next()),
             "--duration-ms" => {
                 load_config.duration_ms = Some(parse_or_die("--duration-ms", it.next()))
             }
@@ -237,7 +267,7 @@ fn main() {
     if let Some(path) = load_validate {
         match validate_load(&path) {
             Ok(()) => {
-                println!("{path}: valid hns-load-v1 export");
+                println!("{path}: valid hns-load-v2 export");
                 return;
             }
             Err(err) => {
@@ -292,6 +322,18 @@ fn main() {
                 failed = true;
             } else {
                 println!("load JSON written to {path}");
+            }
+        }
+        if let Some(path) = &load_baseline {
+            let result = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {path}: {e}"))
+                .and_then(|text| loadgen::report::check_regression(&rep, &text, load_regress));
+            match result {
+                Ok(summary) => println!("baseline check vs {path}:\n{summary}"),
+                Err(err) => {
+                    eprintln!("error: baseline check vs {path}: {err}");
+                    failed = true;
+                }
             }
         }
     }

@@ -1,4 +1,5 @@
-//! E-L — the real-time multi-threaded load engine.
+//! E-L — the real-time load engine: sharded closed-loop dispatch plus
+//! an open-loop (offered-load) arrival mode.
 //!
 //! Everything else in this crate measures *virtual* time: one logical
 //! thread walks the stack and the clock advances by calibrated costs.
@@ -6,37 +7,59 @@
 //! of *wall-clock* time the reproduction's stack sustains when many
 //! client threads drive it concurrently — which is what the hot-path
 //! contention work (sharded TTL cache, striped clock, snapshot-read
-//! tables, bounded reply-cache eviction) exists to improve.
+//! tables, composed binding cache, batched virtual-time charging)
+//! exists to improve.
 //!
-//! Each run builds one shared testbed (public BIND, Clearinghouse, meta
-//! BIND, NSMs), registers the same Zipf universe of departmental
-//! contexts the hit-ratio experiment uses, then spawns N closed-loop
-//! client threads. Per operation a thread draws a (context, query
-//! class) pair from the Zipf sampler and issues, by configured mix:
+//! # Sharded dispatch
 //!
-//! * a **warm** `FindNSM` against a shared demarshalled-cache HNS
-//!   (the dominant, cache-hit path),
-//! * a **cold** `FindNSM` against a shared cache-disabled HNS (the full
-//!   meta-walk-every-time path), or
-//! * a full HRPC **bind** — `Import` = `FindNSM` plus a binding-NSM
-//!   call — for `hrpc_binding` pairs.
+//! Each worker owns a complete private stack — its own simulated world
+//! (clock, metrics, fault plan), public BIND, Clearinghouse, meta BIND,
+//! NSMs, warm and cold HNS instances, importer, RNG, and latency
+//! histogram. Nothing mutable is shared across threads on the measured
+//! path, so the engine scales with cores instead of serializing on a
+//! shared clock and registry. Two per-worker switches buy the warm-path
+//! throughput:
 //!
-//! Latency is the real elapsed time of the operation, recorded into an
-//! [`obs`](hns_core::obs) histogram; throughput is ops over wall time.
-//! Virtual-time numbers are unaffected: concurrency changes how fast
-//! the simulation *executes*, never what it *computes*.
+//! * the **composed binding cache** (see `hns_core::binding_cache`): a
+//!   warm `FindNSM` collapses from six mapping probes with re-parsing
+//!   to one probe returning a `Copy` binding, and
+//! * **batched virtual-time charging** (`VirtualClock::set_batched`):
+//!   cost charges accumulate thread-locally and flush on read, so hot
+//!   loops skip shared-cache-line traffic.
+//!
+//! Per operation a worker draws a (context, query class) pair from the
+//! Zipf sampler and issues, by configured mix: a **warm** `FindNSM`
+//! (composed-cache path), a **cold** `FindNSM` against a cache-disabled
+//! HNS (the full meta-walk-every-time path), or a full HRPC **bind**
+//! (`Import` = `FindNSM` + a binding-NSM call).
+//!
+//! # Closed vs. open loop
+//!
+//! Closed-loop runs issue the next operation the moment the previous
+//! one returns: they measure *capacity* but, under overload, latency is
+//! bounded by the loop itself (coordinated omission). Open-loop runs
+//! ([`open`]) draw Poisson arrival schedules at a configured offered
+//! QPS and charge each operation's latency from its *scheduled* arrival
+//! (sojourn time), so queueing delay under overload is visible, along
+//! with lateness and backlog accounting.
+//!
+//! Virtual-time numbers are unaffected by any of this: concurrency
+//! changes how fast the simulation *executes*, never what it
+//! *computes*.
 
+pub mod open;
 pub mod report;
 pub mod zipf;
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use hns_core::binding_cache::BindingCacheStats;
 use hns_core::cache::CacheMode;
 use hns_core::colocation::HnsHandle;
 use hns_core::name::{Context, HnsName, NameMapping};
 use hns_core::obs::metrics::HistogramStats;
-use hns_core::obs::MetricsRegistry;
+use hns_core::obs::LocalHistogram;
 use hns_core::query::QueryClass;
 use hns_core::service::Hns;
 use hrpc::ProgramId;
@@ -49,6 +72,7 @@ use nsms::nsm_cache::NsmCacheForm;
 use simnet::rng::DetRng;
 
 use crate::cells::PlainTable;
+pub use open::OpenRunResult;
 use zipf::ZipfSampler;
 
 /// Distinct departmental contexts in the universe (same shape as the
@@ -58,12 +82,12 @@ const CONTEXTS: usize = 12;
 /// Load engine configuration (the `experiments -- loadgen` knobs).
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
-    /// Thread counts to sweep, one run per entry.
+    /// Thread counts to sweep, one closed-loop run per entry.
     pub threads: Vec<usize>,
     /// Closed-loop operations per thread per run.
     pub ops_per_thread: u64,
-    /// Optional wall-clock cap per run; whichever of ops/duration is
-    /// reached first ends a thread's loop.
+    /// Optional wall-clock cap per closed-loop run; whichever of
+    /// ops/duration is reached first ends a thread's loop.
     pub duration_ms: Option<u64>,
     /// Zipf skew exponent over the context/class universe.
     pub zipf_s: f64,
@@ -77,6 +101,13 @@ pub struct LoadConfig {
     /// fail fast with `HostUnreachable` while the pre-warmed paths keep
     /// serving, so throughput under faults is measurable.
     pub faults: bool,
+    /// Offered-load levels (total QPS) to sweep open-loop, one run per
+    /// entry. Empty = closed-loop only.
+    pub offered_qps: Vec<f64>,
+    /// Worker threads for each open-loop run.
+    pub open_threads: usize,
+    /// Wall-clock duration of each open-loop run.
+    pub open_duration_ms: u64,
 }
 
 impl Default for LoadConfig {
@@ -90,11 +121,14 @@ impl Default for LoadConfig {
             bind_frac: 0.30,
             seed: 1987,
             faults: false,
+            offered_qps: Vec::new(),
+            open_threads: 4,
+            open_duration_ms: 500,
         }
     }
 }
 
-/// Result of one run (one thread count).
+/// Result of one closed-loop run (one thread count).
 #[derive(Debug, Clone, Copy)]
 pub struct RunResult {
     /// Client threads driven.
@@ -113,14 +147,26 @@ pub struct RunResult {
     pub wall_secs: f64,
     /// Operations per wall-clock second.
     pub qps: f64,
-    /// Real per-operation latency distribution (microseconds).
+    /// Real per-operation latency distribution (microseconds), merged
+    /// exactly from the per-worker histograms.
     pub latency_us: HistogramStats,
-    /// Warm HNS cache hits over the measured run.
+    /// Warm-instance per-mapping cache hits over the measured run,
+    /// summed across workers. With the composed binding cache enabled
+    /// the warm path only reaches this cache when a composed entry has
+    /// expired, so small numbers here are expected. Cold operations run
+    /// a deliberately cache-disabled instance and are *not* counted as
+    /// misses anywhere — see `cold_ops` for their volume.
     pub hns_hits: u64,
-    /// Warm HNS cache misses over the measured run.
+    /// Warm-instance per-mapping cache misses (see `hns_hits`).
     pub hns_misses: u64,
-    /// Warm HNS cache TTL expirations over the measured run.
+    /// Warm-instance per-mapping cache TTL expirations.
     pub hns_expired: u64,
+    /// Composed binding-cache hits across workers (the warm fast path).
+    pub binding_hits: u64,
+    /// Composed binding-cache misses across workers.
+    pub binding_misses: u64,
+    /// Composed binding-cache entries inserted across workers.
+    pub binding_inserts: u64,
 }
 
 /// A full sweep plus its configuration.
@@ -128,10 +174,18 @@ pub struct RunResult {
 pub struct LoadReport {
     /// The configuration the sweep ran with.
     pub config: LoadConfig,
-    /// Logical cores of the machine that produced it.
+    /// Logical cores visible to this process (cgroup-limited
+    /// `available_parallelism`, so a container reports its quota, not
+    /// the physical machine).
     pub cores: usize,
-    /// One result per entry in `config.threads`.
+    /// Operating system the run executed on.
+    pub os: &'static str,
+    /// CPU architecture the run executed on.
+    pub arch: &'static str,
+    /// One closed-loop result per entry in `config.threads`.
     pub runs: Vec<RunResult>,
+    /// One open-loop result per entry in `config.offered_qps`.
+    pub open_runs: Vec<OpenRunResult>,
 }
 
 /// One sampled operation, precomputed at setup so the hot loop only
@@ -143,15 +197,32 @@ struct Op {
     bind: Option<(&'static str, ProgramId)>,
 }
 
-/// The shared per-run stack.
-struct Stack {
+/// One worker's private stack: its own simulated world, HNS instances,
+/// importer, and operation universe. Nothing here is shared across
+/// threads.
+struct WorkerStack {
     tb: Testbed,
     warm: Arc<Hns>,
     cold: Arc<Hns>,
+    importer: Importer,
     ops: Vec<Op>,
 }
 
-fn build_stack(zipf_s: f64) -> (Stack, ZipfSampler) {
+/// What one worker hands back after its run.
+struct WorkerOut {
+    ops: u64,
+    errors: u64,
+    warm_ops: u64,
+    cold_ops: u64,
+    bind_ops: u64,
+    latency: LocalHistogram,
+    hns_hits: u64,
+    hns_misses: u64,
+    hns_expired: u64,
+    binding: BindingCacheStats,
+}
+
+fn build_worker_stack() -> WorkerStack {
     let tb = Testbed::build();
     tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Demarshalled);
     tb.deploy_extension_nsms(tb.hosts.nsm);
@@ -197,8 +268,12 @@ fn build_stack(zipf_s: f64) -> (Stack, ZipfSampler) {
 
     let warm = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
     let cold = tb.make_hns(tb.hosts.client, CacheMode::Disabled);
+    // The warm instance is the composed-cache throughput path; the
+    // pre-warm walk below both fills its per-mapping cache and seeds
+    // the composed entries.
+    warm.set_binding_cache(true);
 
-    // Pre-warm: one FindNSM per pair fills the warm cache; one Import
+    // Pre-warm: one FindNSM per pair fills the warm caches; one Import
     // per binding pair warms the binding NSMs' own caches.
     let importer = Importer::new(
         Arc::clone(&tb.net),
@@ -214,45 +289,70 @@ fn build_stack(zipf_s: f64) -> (Stack, ZipfSampler) {
         }
     }
 
-    let sampler = ZipfSampler::new(ops.len(), zipf_s);
-    (
-        Stack {
-            tb,
-            warm,
-            cold,
-            ops,
-        },
-        sampler,
-    )
+    WorkerStack {
+        tb,
+        warm,
+        cold,
+        importer,
+        ops,
+    }
 }
 
-/// Runs one thread count against a freshly built stack.
-fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
-    let (stack, sampler) = build_stack(config.zipf_s);
-    if config.faults {
-        // Crash the meta server for the whole measured run (the caches
-        // are already warm). Cold operations walk into the crash and
-        // fail fast; warm and bind traffic keeps flowing, answering from
-        // the caches — stale once their TTL passes mid-run.
-        let mut plan = simnet::faults::FaultPlan::new();
-        plan.crash(stack.tb.hosts.meta, stack.tb.world.now(), None);
-        stack.tb.world.set_faults(Some(plan));
-    }
-    let metrics = MetricsRegistry::new();
-    let latency = metrics.histogram("loadgen", "op_latency_us");
-    let ops_ctr = metrics.counter("loadgen", "ops");
-    let err_ctr = metrics.counter("loadgen", "errors");
-    let warm_ctr = metrics.counter("loadgen", "warm_ops");
-    let cold_ctr = metrics.counter("loadgen", "cold_ops");
-    let bind_ctr = metrics.counter("loadgen", "bind_ops");
+/// Builds one private stack per worker, optionally crashing each
+/// shard's meta server, and switches each world to batched charging for
+/// the measured run.
+fn build_shards(threads: usize, faults: bool) -> Vec<WorkerStack> {
+    (0..threads)
+        .map(|_| {
+            let stack = build_worker_stack();
+            if faults {
+                // Crash the meta server for the whole measured run (the
+                // caches are already warm). Cold operations walk into
+                // the crash and fail fast; warm and bind traffic keeps
+                // flowing, answering from the caches — stale once their
+                // TTL passes mid-run.
+                let mut plan = simnet::faults::FaultPlan::new();
+                plan.crash(stack.tb.hosts.meta, stack.tb.world.now(), None);
+                stack.tb.world.set_faults(Some(plan));
+            }
+            stack.tb.world.clock.set_batched(true);
+            stack
+        })
+        .collect()
+}
 
-    let hns0 = stack.warm.cache_stats();
+impl WorkerStack {
+    /// Executes one drawn operation; returns (kind, failed) where kind
+    /// indexes warm=0 / cold=1 / bind=2.
+    fn run_op(&self, rng: &mut DetRng, sampler: &ZipfSampler, config: &LoadConfig) -> (u8, bool) {
+        let op = &self.ops[sampler.sample(rng)];
+        let cold = rng.chance(config.cold_frac);
+        let bind = !cold && op.bind.is_some() && rng.chance(config.bind_frac);
+        if cold {
+            (1, self.cold.find_nsm(&op.qc, &op.name).is_err())
+        } else if bind {
+            let (service, program) = op.bind.expect("bind op");
+            (2, self.importer.import(service, program, &op.name).is_err())
+        } else {
+            (0, self.warm.find_nsm(&op.qc, &op.name).is_err())
+        }
+    }
+
+    /// Snapshot of the warm instance's cache counters.
+    fn warm_stats(&self) -> (u64, u64, u64) {
+        let s = self.warm.cache_stats();
+        (s.hits, s.misses, s.expired)
+    }
+}
+
+/// Runs one closed-loop thread count, one private stack per worker.
+fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
+    let sampler = ZipfSampler::new(CONTEXTS * 3, config.zipf_s);
+    let stacks = build_shards(threads, config.faults);
     let barrier = Barrier::new(threads + 1);
     let mut master = DetRng::new(config.seed ^ ((threads as u64) << 32));
     let ops_per_thread = config.ops_per_thread;
     let duration_ms = config.duration_ms;
-    let cold_frac = config.cold_frac;
-    let bind_frac = config.bind_frac;
 
     // Workers spawn and park on the barrier, which releases the moment
     // the main thread (the final waiter) arrives — so the timestamp
@@ -262,96 +362,101 @@ fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
     // main is rescheduled.) `scope` returning means every worker has
     // finished, so `started.elapsed()` is the run's wall time.
     let mut started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let mut rng = master.fork();
-            let sampler = &sampler;
-            let stack = &stack;
-            let barrier = &barrier;
-            let latency = Arc::clone(&latency);
-            let ops_ctr = Arc::clone(&ops_ctr);
-            let err_ctr = Arc::clone(&err_ctr);
-            let warm_ctr = Arc::clone(&warm_ctr);
-            let cold_ctr = Arc::clone(&cold_ctr);
-            let bind_ctr = Arc::clone(&bind_ctr);
-            let importer = Importer::new(
-                Arc::clone(&stack.tb.net),
-                stack.tb.hosts.client,
-                HnsHandle::Linked(Arc::clone(&stack.warm)),
-            );
-            scope.spawn(move || {
-                barrier.wait();
-                let deadline = duration_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-                for _ in 0..ops_per_thread {
-                    if let Some(deadline) = deadline {
-                        if Instant::now() >= deadline {
-                            break;
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stacks
+            .iter()
+            .map(|stack| {
+                let mut rng = master.fork();
+                let sampler = &sampler;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let warm0 = stack.warm_stats();
+                    barrier.wait();
+                    let deadline = duration_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                    let mut latency = LocalHistogram::new();
+                    let mut counts = [0u64; 3];
+                    let mut errors = 0u64;
+                    for _ in 0..ops_per_thread {
+                        if let Some(deadline) = deadline {
+                            if Instant::now() >= deadline {
+                                break;
+                            }
                         }
+                        let t0 = Instant::now();
+                        let (kind, failed) = stack.run_op(&mut rng, sampler, config);
+                        latency.record(t0.elapsed().as_micros() as u64);
+                        counts[kind as usize] += 1;
+                        errors += u64::from(failed);
                     }
-                    let op = &stack.ops[sampler.sample(&mut rng)];
-                    let cold = rng.chance(cold_frac);
-                    let bind = !cold && op.bind.is_some() && rng.chance(bind_frac);
-                    let t0 = Instant::now();
-                    let failed = if cold {
-                        cold_ctr.inc();
-                        stack.cold.find_nsm(&op.qc, &op.name).is_err()
-                    } else if bind {
-                        bind_ctr.inc();
-                        let (service, program) = op.bind.expect("bind op");
-                        importer.import(service, program, &op.name).is_err()
-                    } else {
-                        warm_ctr.inc();
-                        stack.warm.find_nsm(&op.qc, &op.name).is_err()
-                    };
-                    latency.record(t0.elapsed().as_micros() as u64);
-                    ops_ctr.inc();
-                    if failed {
-                        err_ctr.inc();
+                    // Batched charges would die with this thread
+                    // otherwise; flush so post-run stat reads see them.
+                    stack.tb.world.clock.flush_local();
+                    let warm1 = stack.warm_stats();
+                    WorkerOut {
+                        ops: counts.iter().sum(),
+                        errors,
+                        warm_ops: counts[0],
+                        cold_ops: counts[1],
+                        bind_ops: counts[2],
+                        latency,
+                        hns_hits: warm1.0 - warm0.0,
+                        hns_misses: warm1.1 - warm0.1,
+                        hns_expired: warm1.2 - warm0.2,
+                        binding: stack.warm.binding_cache_stats(),
                     }
-                }
-            });
-        }
+                })
+            })
+            .collect();
         started = Instant::now();
         barrier.wait();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let wall_secs = started.elapsed().as_secs_f64();
 
-    let hns1 = stack.warm.cache_stats();
-    let snap = metrics.snapshot();
-    let ops = snap.counter("loadgen", "ops").unwrap_or(0);
-    RunResult {
+    let mut latency = LocalHistogram::new();
+    let mut r = RunResult {
         threads,
-        ops,
-        errors: snap.counter("loadgen", "errors").unwrap_or(0),
-        warm_ops: snap.counter("loadgen", "warm_ops").unwrap_or(0),
-        cold_ops: snap.counter("loadgen", "cold_ops").unwrap_or(0),
-        bind_ops: snap.counter("loadgen", "bind_ops").unwrap_or(0),
+        ops: 0,
+        errors: 0,
+        warm_ops: 0,
+        cold_ops: 0,
+        bind_ops: 0,
         wall_secs,
-        qps: if wall_secs > 0.0 {
-            ops as f64 / wall_secs
-        } else {
-            0.0
-        },
-        latency_us: snap
-            .histogram("loadgen", "op_latency_us")
-            .copied()
-            .unwrap_or(HistogramStats {
-                count: 0,
-                sum: 0,
-                min: 0,
-                max: 0,
-                p50: 0,
-                p95: 0,
-                p99: 0,
-            }),
-        hns_hits: hns1.hits - hns0.hits,
-        hns_misses: hns1.misses - hns0.misses,
-        hns_expired: hns1.expired - hns0.expired,
+        qps: 0.0,
+        latency_us: HistogramStats::default(),
+        hns_hits: 0,
+        hns_misses: 0,
+        hns_expired: 0,
+        binding_hits: 0,
+        binding_misses: 0,
+        binding_inserts: 0,
+    };
+    for out in &outs {
+        r.ops += out.ops;
+        r.errors += out.errors;
+        r.warm_ops += out.warm_ops;
+        r.cold_ops += out.cold_ops;
+        r.bind_ops += out.bind_ops;
+        r.hns_hits += out.hns_hits;
+        r.hns_misses += out.hns_misses;
+        r.hns_expired += out.hns_expired;
+        r.binding_hits += out.binding.hits;
+        r.binding_misses += out.binding.misses;
+        r.binding_inserts += out.binding.inserts;
+        latency.merge(&out.latency);
     }
+    r.latency_us = latency.stats();
+    if wall_secs > 0.0 {
+        r.qps = r.ops as f64 / wall_secs;
+    }
+    r
 }
 
-/// Runs the full sweep: one fresh stack and one measured run per entry
-/// in `config.threads`.
+/// Runs the full sweep: the closed-loop thread sweep, then one
+/// open-loop run per offered-load level.
 pub fn run(config: &LoadConfig) -> LoadReport {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let runs = config
@@ -359,19 +464,28 @@ pub fn run(config: &LoadConfig) -> LoadReport {
         .iter()
         .map(|&t| run_once(config, t))
         .collect();
+    let open_runs = config
+        .offered_qps
+        .iter()
+        .map(|&q| open::run_open(config, q))
+        .collect();
     LoadReport {
         config: config.clone(),
         cores,
+        os: std::env::consts::OS,
+        arch: std::env::consts::ARCH,
         runs,
+        open_runs,
     }
 }
 
 impl LoadReport {
-    /// Renders the sweep as a table.
+    /// Renders the sweep as one table (closed-loop) or two (plus the
+    /// open-loop offered-load sweep).
     pub fn render(&self) -> String {
         let mut table = PlainTable::new(
             format!(
-                "E-L — multi-threaded load engine: closed-loop FindNSM + bind \
+                "E-L — sharded load engine: closed-loop FindNSM + bind \
                  traffic, Zipf(s={}) over {} pairs, {:.0}% cold / {:.0}% bind, \
                  {} ops/thread ({} cores)",
                 self.config.zipf_s,
@@ -397,12 +511,47 @@ impl LoadReport {
                 r.latency_us.p99.to_string(),
             ]);
         }
-        table.render()
+        let mut out = table.render();
+        if !self.open_runs.is_empty() {
+            let mut open_table = PlainTable::new(
+                format!(
+                    "E-L — open-loop offered load: Poisson arrivals over {} \
+                     threads, {} ms per level (sojourn latency from scheduled \
+                     arrival)",
+                    self.config.open_threads, self.config.open_duration_ms
+                ),
+                vec![
+                    "offered QPS",
+                    "achieved QPS",
+                    "ops",
+                    "errors",
+                    "p50 (us)",
+                    "p99 (us)",
+                    "late ops",
+                    "max backlog",
+                ],
+            );
+            for r in &self.open_runs {
+                open_table.push_row(vec![
+                    format!("{:.0}", r.offered_qps),
+                    format!("{:.0}", r.achieved_qps),
+                    r.ops.to_string(),
+                    r.errors.to_string(),
+                    r.latency_us.p50.to_string(),
+                    r.latency_us.p99.to_string(),
+                    r.late_ops.to_string(),
+                    r.backlog_max.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&open_table.render());
+        }
+        out
     }
 
-    /// The `hns-load-v1` JSON document for this sweep.
+    /// The `hns-load-v2` JSON document for this sweep.
     pub fn to_json(&self) -> String {
-        report::to_json(&self.config, self.cores, &self.runs)
+        report::to_json(self)
     }
 }
 
@@ -424,12 +573,15 @@ mod tests {
         assert_eq!(r.ops, 300, "closed loop completes every op");
         assert_eq!(r.errors, 0, "no operation fails on the testbed");
         assert_eq!(r.warm_ops + r.cold_ops + r.bind_ops, r.ops);
-        assert_eq!(r.latency_us.count, r.ops);
+        assert_eq!(
+            r.latency_us.count, r.ops,
+            "merged worker histograms account for every op"
+        );
         assert!(r.wall_secs > 0.0 && r.qps > 0.0);
         assert!(r.warm_ops > 0, "warm path dominates the mix");
         assert!(
-            r.hns_hits > 0,
-            "pre-warmed shared cache serves the warm path"
+            r.binding_hits > 0,
+            "pre-seeded composed cache serves the warm path"
         );
         report::validate(&rep.to_json()).expect("export validates");
         let rendered = rep.render();
@@ -468,5 +620,30 @@ mod tests {
         let r = &rep.runs[0];
         assert!(r.ops > 0);
         assert!(r.wall_secs < 30.0, "cap bounded the run");
+    }
+
+    #[test]
+    fn open_loop_levels_produce_runs() {
+        let config = LoadConfig {
+            threads: vec![],
+            offered_qps: vec![500.0, 2_000.0],
+            open_threads: 2,
+            open_duration_ms: 120,
+            ..LoadConfig::default()
+        };
+        let rep = run(&config);
+        assert!(rep.runs.is_empty());
+        assert_eq!(rep.open_runs.len(), 2);
+        for (r, &offered) in rep.open_runs.iter().zip(&config.offered_qps) {
+            assert_eq!(r.offered_qps, offered);
+            assert!(r.scheduled > 0, "Poisson schedule generated arrivals");
+            assert_eq!(r.ops, r.scheduled, "every scheduled arrival completed");
+            assert_eq!(r.errors, 0);
+            assert_eq!(r.latency_us.count, r.ops);
+            assert!(r.achieved_qps > 0.0);
+        }
+        report::validate(&rep.to_json()).expect("export validates");
+        let rendered = rep.render();
+        assert!(rendered.contains("offered QPS"), "{rendered}");
     }
 }

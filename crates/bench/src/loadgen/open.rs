@@ -1,0 +1,308 @@
+//! Open-loop (offered-load) arrival mode.
+//!
+//! A closed loop can never overload the stack: each worker waits for
+//! one operation to finish before issuing the next, so under saturation
+//! the *arrival rate adapts to the service rate* and queueing delay is
+//! invisible (coordinated omission). The open loop instead fixes the
+//! offered load: each worker precomputes a Poisson arrival schedule at
+//! its share of the offered QPS, dispatches each operation at (or as
+//! soon as possible after) its scheduled instant, and charges latency
+//! from the *scheduled arrival* — sojourn time — so time spent queued
+//! behind a slow operation counts against the system.
+//!
+//! Three overload signals ride along:
+//!
+//! * **lateness** — how far past its scheduled instant each operation
+//!   was actually dispatched,
+//! * **late ops** — how many operations were dispatched late at all,
+//! * **max backlog** — the deepest the queue of due-but-not-yet-
+//!   dispatched arrivals got.
+//!
+//! Schedules are deterministic for a fixed seed (proptested below):
+//! worker `w` at offered level `q` draws from a seed derived from the
+//! config seed, `q`'s bit pattern, and `w`, so re-running a sweep
+//! replays identical arrival processes.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use hns_core::obs::metrics::HistogramStats;
+use hns_core::obs::LocalHistogram;
+use simnet::rng::DetRng;
+
+use super::zipf::ZipfSampler;
+use super::{build_shards, LoadConfig, CONTEXTS};
+
+/// Result of one open-loop run (one offered-load level).
+#[derive(Debug, Clone, Copy)]
+pub struct OpenRunResult {
+    /// Total offered load (QPS) across all workers.
+    pub offered_qps: f64,
+    /// Worker threads driven.
+    pub threads: usize,
+    /// Scheduled duration of the run.
+    pub duration_ms: u64,
+    /// Arrivals scheduled across all workers.
+    pub scheduled: u64,
+    /// Operations completed (every scheduled arrival is eventually
+    /// dispatched; the run ends when the last one finishes).
+    pub ops: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Wall-clock seconds from barrier release to last worker done.
+    pub wall_secs: f64,
+    /// Completed operations per wall-clock second. Tracks
+    /// `offered_qps` while the stack keeps up; falls below it (with the
+    /// run overrunning `duration_ms`) under overload.
+    pub achieved_qps: f64,
+    /// Sojourn latency (microseconds): completion minus *scheduled*
+    /// arrival, so queueing delay is visible.
+    pub latency_us: HistogramStats,
+    /// Dispatch lateness (microseconds): actual minus scheduled
+    /// dispatch instant.
+    pub lateness_us: HistogramStats,
+    /// Operations dispatched after their scheduled instant.
+    pub late_ops: u64,
+    /// Deepest due-but-undispatched arrival queue observed.
+    pub backlog_max: u64,
+}
+
+/// Draws a Poisson arrival schedule: microsecond offsets from run
+/// start, strictly within `duration_ms`, with exponential inter-arrival
+/// times of mean `1/rate`. Deterministic for a fixed seed. An empty
+/// schedule results from a non-positive rate.
+pub fn poisson_schedule(seed: u64, rate_per_sec: f64, duration_ms: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if rate_per_sec <= 0.0 {
+        return out;
+    }
+    let mut rng = DetRng::new(seed);
+    let mean_us = 1_000_000.0 / rate_per_sec;
+    let horizon_us = duration_ms as f64 * 1_000.0;
+    let mut t = 0.0;
+    loop {
+        t += rng.next_exp(mean_us);
+        if t >= horizon_us {
+            return out;
+        }
+        out.push(t as u64);
+    }
+}
+
+/// Seed for worker `w`'s arrival schedule at offered level `q`.
+fn schedule_seed(config_seed: u64, offered_qps: f64, worker: u64) -> u64 {
+    config_seed ^ offered_qps.to_bits().rotate_left(17) ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// What one open-loop worker hands back.
+struct OpenWorkerOut {
+    scheduled: u64,
+    ops: u64,
+    errors: u64,
+    latency: LocalHistogram,
+    lateness: LocalHistogram,
+    late_ops: u64,
+    backlog_max: u64,
+}
+
+/// Runs one offered-load level: `config.open_threads` workers, each
+/// with its own stack and its own Poisson schedule at an equal share of
+/// `offered_qps`.
+pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
+    let threads = config.open_threads.max(1);
+    let duration_ms = config.open_duration_ms;
+    let sampler = ZipfSampler::new(CONTEXTS * 3, config.zipf_s);
+    let stacks = build_shards(threads, config.faults);
+    let schedules: Vec<Vec<u64>> = (0..threads)
+        .map(|w| {
+            poisson_schedule(
+                schedule_seed(config.seed, offered_qps, w as u64),
+                offered_qps / threads as f64,
+                duration_ms,
+            )
+        })
+        .collect();
+    let barrier = Barrier::new(threads + 1);
+    let mut master = DetRng::new(config.seed ^ offered_qps.to_bits());
+
+    let mut started = Instant::now();
+    let outs: Vec<OpenWorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stacks
+            .iter()
+            .zip(&schedules)
+            .map(|(stack, schedule)| {
+                let mut rng = master.fork();
+                let sampler = &sampler;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut latency = LocalHistogram::new();
+                    let mut lateness = LocalHistogram::new();
+                    let mut errors = 0u64;
+                    let mut late_ops = 0u64;
+                    let mut backlog_max = 0u64;
+                    barrier.wait();
+                    let start = Instant::now();
+                    for (i, &at_us) in schedule.iter().enumerate() {
+                        // Wait out the gap to the scheduled arrival:
+                        // sleep for the bulk, spin the last stretch
+                        // (sleep granularity is coarser than the
+                        // microsecond schedule).
+                        loop {
+                            let elapsed = start.elapsed().as_micros() as u64;
+                            if elapsed >= at_us {
+                                break;
+                            }
+                            let gap = at_us - elapsed;
+                            if gap > 300 {
+                                std::thread::sleep(Duration::from_micros(gap - 200));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let dispatched = start.elapsed().as_micros() as u64;
+                        let late = dispatched.saturating_sub(at_us);
+                        lateness.record(late);
+                        late_ops += u64::from(late > 0);
+                        // Arrivals already due beyond the ones dispatched
+                        // so far (including this one) are the backlog.
+                        let due = schedule.partition_point(|&t| t <= dispatched);
+                        backlog_max = backlog_max.max((due - i) as u64);
+                        let (_, failed) = stack.run_op(&mut rng, sampler, config);
+                        let done = start.elapsed().as_micros() as u64;
+                        latency.record(done - at_us);
+                        errors += u64::from(failed);
+                    }
+                    stack.tb.world.clock.flush_local();
+                    OpenWorkerOut {
+                        scheduled: schedule.len() as u64,
+                        ops: schedule.len() as u64,
+                        errors,
+                        latency,
+                        lateness,
+                        late_ops,
+                        backlog_max,
+                    }
+                })
+            })
+            .collect();
+        started = Instant::now();
+        barrier.wait();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop worker panicked"))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut latency = LocalHistogram::new();
+    let mut lateness = LocalHistogram::new();
+    let mut r = OpenRunResult {
+        offered_qps,
+        threads,
+        duration_ms,
+        scheduled: 0,
+        ops: 0,
+        errors: 0,
+        wall_secs,
+        achieved_qps: 0.0,
+        latency_us: HistogramStats::default(),
+        lateness_us: HistogramStats::default(),
+        late_ops: 0,
+        backlog_max: 0,
+    };
+    for out in &outs {
+        r.scheduled += out.scheduled;
+        r.ops += out.ops;
+        r.errors += out.errors;
+        r.late_ops += out.late_ops;
+        r.backlog_max = r.backlog_max.max(out.backlog_max);
+        latency.merge(&out.latency);
+        lateness.merge(&out.lateness);
+    }
+    r.latency_us = latency.stats();
+    r.lateness_us = lateness.stats();
+    if wall_secs > 0.0 {
+        r.achieved_qps = r.ops as f64 / wall_secs;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn schedule_is_sorted_and_bounded() {
+        let s = poisson_schedule(42, 10_000.0, 100);
+        assert!(!s.is_empty());
+        assert!(s.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(s.iter().all(|&t| t < 100_000), "within the horizon");
+    }
+
+    #[test]
+    fn zero_rate_schedules_nothing() {
+        assert!(poisson_schedule(1, 0.0, 1_000).is_empty());
+        assert!(poisson_schedule(1, -5.0, 1_000).is_empty());
+    }
+
+    proptest! {
+        /// Fixed seed ⇒ identical arrival schedule, run to run.
+        #[test]
+        fn schedule_is_deterministic_for_fixed_seed(
+            seed in 0u64..u64::MAX,
+            rate in 1.0f64..100_000.0,
+            duration_ms in 1u64..2_000,
+        ) {
+            let a = poisson_schedule(seed, rate, duration_ms);
+            let b = poisson_schedule(seed, rate, duration_ms);
+            prop_assert_eq!(a, b);
+        }
+
+        /// Arrival count concentrates around rate × duration: for a
+        /// Poisson process the count over the horizon has mean λT, so a
+        /// generous ±50% band plus slack catches only real breakage
+        /// (wrong unit, wrong mean) and never the stochastic tail.
+        #[test]
+        fn schedule_count_tracks_offered_load(
+            seed in 0u64..u64::MAX,
+            rate in 1_000.0f64..50_000.0,
+        ) {
+            let duration_ms = 1_000;
+            let n = poisson_schedule(seed, rate, duration_ms).len() as f64;
+            let expect = rate * duration_ms as f64 / 1_000.0;
+            prop_assert!(
+                n > expect * 0.5 && n < expect * 1.5,
+                "count {} vs expected {}", n, expect
+            );
+        }
+
+        /// Per-worker schedules merged equal one global offered load:
+        /// the union of W independent Poisson processes at λ/W is a
+        /// Poisson process at λ, so the merged count tracks λT too.
+        #[test]
+        fn split_schedules_sum_to_the_offered_load(
+            seed in 0u64..u64::MAX,
+            workers in 1usize..8,
+        ) {
+            let rate = 20_000.0;
+            let duration_ms = 500;
+            let total: usize = (0..workers)
+                .map(|w| {
+                    poisson_schedule(
+                        schedule_seed(seed, rate, w as u64),
+                        rate / workers as f64,
+                        duration_ms,
+                    )
+                    .len()
+                })
+                .sum();
+            let expect = rate * duration_ms as f64 / 1_000.0;
+            let total = total as f64;
+            prop_assert!(
+                total > expect * 0.5 && total < expect * 1.5,
+                "count {} vs expected {}", total, expect
+            );
+        }
+    }
+}

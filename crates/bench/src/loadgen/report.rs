@@ -1,9 +1,21 @@
-//! JSON export of a load sweep (`hns-load-v1`).
+//! JSON export of a load sweep (`hns-load-v2`) plus the baseline
+//! regression check the CI guard runs.
+//!
+//! # Cold-operation cache semantics
+//!
+//! The per-run `hns_cache` object covers only the *warm* HNS instance.
+//! Cold operations deliberately run a `CacheMode::Disabled` instance —
+//! a full meta walk every time, the paper's uncached shape — and a
+//! disabled cache counts nothing, so cold traffic never shows up as
+//! cache misses (the `"misses": 0` a warm run reports is correct, not
+//! missing accounting). The explicit `cold_walks` field carries the
+//! cold volume instead. `binding_cache` reports the composed
+//! fast path that serves the warm mix.
 
 use hns_core::obs::json;
 use hns_core::obs::metrics::HistogramStats;
 
-use super::{LoadConfig, RunResult};
+use super::{LoadReport, OpenRunResult, RunResult};
 
 fn stats_json(s: &HistogramStats) -> String {
     format!(
@@ -24,7 +36,8 @@ fn run_json(r: &RunResult) -> String {
         "{{\"threads\": {}, \"ops\": {}, \"errors\": {}, \"wall_secs\": {}, \
          \"qps\": {}, \"warm_ops\": {}, \"cold_ops\": {}, \"bind_ops\": {}, \
          \"latency_us\": {}, \
-         \"hns_cache\": {{\"hits\": {}, \"misses\": {}, \"expired\": {}}}}}",
+         \"hns_cache\": {{\"hits\": {}, \"misses\": {}, \"expired\": {}, \"cold_walks\": {}}}, \
+         \"binding_cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}}}}}",
         r.threads,
         r.ops,
         r.errors,
@@ -37,17 +50,56 @@ fn run_json(r: &RunResult) -> String {
         r.hns_hits,
         r.hns_misses,
         r.hns_expired,
+        r.cold_ops,
+        r.binding_hits,
+        r.binding_misses,
+        r.binding_inserts,
     )
 }
 
-/// Renders the whole sweep as an `hns-load-v1` JSON document.
-pub fn to_json(config: &LoadConfig, cores: usize, runs: &[RunResult]) -> String {
-    let runs_json: Vec<String> = runs.iter().map(run_json).collect();
+fn open_run_json(r: &OpenRunResult) -> String {
     format!(
-        "{{\n  \"schema\": \"hns-load-v1\",\n  \"host\": {{\"cores\": {cores}}},\n  \
-         \"config\": {{\"ops_per_thread\": {}, \"duration_ms\": {}, \"zipf_s\": {}, \
-         \"cold_frac\": {}, \"bind_frac\": {}, \"seed\": {}, \"faults\": {}}},\n  \
-         \"runs\": [\n    {}\n  ]\n}}\n",
+        "{{\"offered_qps\": {}, \"threads\": {}, \"duration_ms\": {}, \
+         \"scheduled\": {}, \"ops\": {}, \"errors\": {}, \"wall_secs\": {}, \
+         \"achieved_qps\": {}, \"latency_us\": {}, \"lateness_us\": {}, \
+         \"late_ops\": {}, \"backlog_max\": {}}}",
+        json::number(r.offered_qps),
+        r.threads,
+        r.duration_ms,
+        r.scheduled,
+        r.ops,
+        r.errors,
+        json::number(r.wall_secs),
+        json::number(r.achieved_qps),
+        stats_json(&r.latency_us),
+        stats_json(&r.lateness_us),
+        r.late_ops,
+        r.backlog_max,
+    )
+}
+
+/// Renders the whole sweep as an `hns-load-v2` JSON document.
+pub fn to_json(report: &LoadReport) -> String {
+    let config = &report.config;
+    let closed: Vec<String> = report.runs.iter().map(run_json).collect();
+    let open: Vec<String> = report.open_runs.iter().map(open_run_json).collect();
+    let offered: Vec<String> = config
+        .offered_qps
+        .iter()
+        .map(|&q| json::number(q))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"hns-load-v2\",\n  \
+         \"host\": {{\"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \
+         \"config\": {{\"dispatch\": \"sharded\", \"ops_per_thread\": {}, \
+         \"duration_ms\": {}, \"zipf_s\": {}, \"cold_frac\": {}, \
+         \"bind_frac\": {}, \"seed\": {}, \"faults\": {}, \
+         \"offered_qps\": [{}], \"open_threads\": {}, \"open_duration_ms\": {}}},\n  \
+         \"closed_runs\": [\n    {}\n  ],\n  \
+         \"open_runs\": [\n    {}\n  ]\n}}\n",
+        report.cores,
+        report.os,
+        report.arch,
         config.ops_per_thread,
         config
             .duration_ms
@@ -57,46 +109,125 @@ pub fn to_json(config: &LoadConfig, cores: usize, runs: &[RunResult]) -> String 
         json::number(config.bind_frac),
         config.seed,
         config.faults,
-        runs_json.join(",\n    "),
+        offered.join(", "),
+        config.open_threads,
+        config.open_duration_ms,
+        closed.join(",\n    "),
+        open.join(",\n    "),
     )
 }
 
-/// Validates an `hns-load-v1` document: schema tag, non-empty `runs`,
-/// and the per-run fields the baseline consumers read.
+/// Validates an `hns-load-v2` document: schema tag, host provenance,
+/// at least one run of either kind, and the per-run fields the
+/// baseline consumers read.
 pub fn validate(text: &str) -> Result<(), String> {
     let v = json::parse(text).map_err(|e| format!("parse error: {e}"))?;
-    if v.get("schema").and_then(|s| s.as_str()) != Some("hns-load-v1") {
+    if v.get("schema").and_then(|s| s.as_str()) != Some("hns-load-v2") {
         return Err("missing or unexpected `schema`".into());
     }
-    if v.get("host").and_then(|h| h.get("cores")).is_none() {
-        return Err("missing `host.cores`".into());
+    let host = v.get("host").ok_or("missing `host`")?;
+    for field in ["cores", "os", "arch"] {
+        if host.get(field).is_none() {
+            return Err(format!("host: missing `{field}`"));
+        }
     }
-    let runs = v
-        .get("runs")
+    let closed = v
+        .get("closed_runs")
         .and_then(|r| r.as_array())
-        .ok_or("missing `runs` array")?;
-    if runs.is_empty() {
+        .ok_or("missing `closed_runs` array")?;
+    let open = v
+        .get("open_runs")
+        .and_then(|r| r.as_array())
+        .ok_or("missing `open_runs` array")?;
+    if closed.is_empty() && open.is_empty() {
         return Err("no runs in export".into());
     }
-    for (i, run) in runs.iter().enumerate() {
-        for field in ["threads", "ops", "qps"] {
+    for (i, run) in closed.iter().enumerate() {
+        for field in ["threads", "ops", "qps", "hns_cache", "binding_cache"] {
             if run.get(field).is_none() {
-                return Err(format!("run {i}: missing `{field}`"));
+                return Err(format!("closed run {i}: missing `{field}`"));
             }
         }
-        let lat = run.get("latency_us").ok_or("missing `latency_us`")?;
+        let lat = run
+            .get("latency_us")
+            .ok_or(format!("closed run {i}: missing `latency_us`"))?;
         for field in ["p50", "p95", "p99"] {
             if lat.get(field).is_none() {
-                return Err(format!("run {i}: latency_us missing `{field}`"));
+                return Err(format!("closed run {i}: latency_us missing `{field}`"));
+            }
+        }
+    }
+    for (i, run) in open.iter().enumerate() {
+        for field in [
+            "offered_qps",
+            "achieved_qps",
+            "ops",
+            "lateness_us",
+            "backlog_max",
+        ] {
+            if run.get(field).is_none() {
+                return Err(format!("open run {i}: missing `{field}`"));
+            }
+        }
+        let lat = run
+            .get("latency_us")
+            .ok_or(format!("open run {i}: missing `latency_us`"))?;
+        for field in ["p50", "p95", "p99"] {
+            if lat.get(field).is_none() {
+                return Err(format!("open run {i}: latency_us missing `{field}`"));
             }
         }
     }
     Ok(())
 }
 
+/// Compares a fresh sweep against a committed baseline document: every
+/// thread count present in both must keep at least `factor` of the
+/// baseline's closed-loop QPS. Accepts `hns-load-v2` (`closed_runs`)
+/// and the older `hns-load-v1` (`runs`) as the baseline. Returns a
+/// human-readable summary on success.
+pub fn check_regression(
+    report: &LoadReport,
+    baseline_text: &str,
+    factor: f64,
+) -> Result<String, String> {
+    let v = json::parse(baseline_text).map_err(|e| format!("baseline parse error: {e}"))?;
+    let runs = v
+        .get("closed_runs")
+        .or_else(|| v.get("runs"))
+        .and_then(|r| r.as_array())
+        .ok_or("baseline has neither `closed_runs` nor `runs`")?;
+    let mut compared = Vec::new();
+    for current in &report.runs {
+        let Some(base_qps) = runs.iter().find_map(|run| {
+            (run.get("threads").and_then(|t| t.as_u64()) == Some(current.threads as u64))
+                .then(|| run.get("qps").and_then(|q| q.as_f64()))
+                .flatten()
+        }) else {
+            continue;
+        };
+        let floor = base_qps * factor;
+        if current.qps < floor {
+            return Err(format!(
+                "regression at {} threads: {:.0} QPS < {:.0} ({}x of baseline {:.0})",
+                current.threads, current.qps, floor, factor, base_qps
+            ));
+        }
+        compared.push(format!(
+            "{} threads: {:.0} QPS >= {:.0} ({}x of baseline {:.0})",
+            current.threads, current.qps, floor, factor, base_qps
+        ));
+    }
+    if compared.is_empty() {
+        return Err("no thread count present in both the run and the baseline".into());
+    }
+    Ok(compared.join("\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loadgen::LoadConfig;
 
     fn sample_run() -> RunResult {
         RunResult {
@@ -120,35 +251,122 @@ mod tests {
             hns_hits: 800,
             hns_misses: 100,
             hns_expired: 10,
+            binding_hits: 850,
+            binding_misses: 36,
+            binding_inserts: 36,
+        }
+    }
+
+    fn sample_open_run() -> OpenRunResult {
+        OpenRunResult {
+            offered_qps: 50_000.0,
+            threads: 4,
+            duration_ms: 500,
+            scheduled: 25_000,
+            ops: 25_000,
+            errors: 0,
+            wall_secs: 0.51,
+            achieved_qps: 49_000.0,
+            latency_us: HistogramStats {
+                count: 25_000,
+                sum: 1_000_000,
+                min: 5,
+                max: 900,
+                p50: 30,
+                p95: 120,
+                p99: 400,
+            },
+            lateness_us: HistogramStats {
+                count: 25_000,
+                sum: 100_000,
+                min: 0,
+                max: 300,
+                p50: 2,
+                p95: 20,
+                p99: 80,
+            },
+            late_ops: 7_000,
+            backlog_max: 3,
+        }
+    }
+
+    fn sample_report() -> LoadReport {
+        LoadReport {
+            config: LoadConfig {
+                offered_qps: vec![50_000.0],
+                ..LoadConfig::default()
+            },
+            cores: 8,
+            os: "linux",
+            arch: "x86_64",
+            runs: vec![sample_run()],
+            open_runs: vec![sample_open_run()],
         }
     }
 
     #[test]
     fn export_round_trips_through_validate() {
-        let cfg = LoadConfig::default();
-        let doc = to_json(&cfg, 8, &[sample_run()]);
+        let rep = sample_report();
+        let doc = rep.to_json();
         validate(&doc).expect("valid export");
         let v = json::parse(&doc).expect("parses");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_str()),
-            Some("hns-load-v1")
+            Some("hns-load-v2")
         );
-        let runs = v.get("runs").and_then(|r| r.as_array()).expect("runs");
-        assert_eq!(runs[0].get("threads").and_then(|t| t.as_u64()), Some(2));
+        let closed = v
+            .get("closed_runs")
+            .and_then(|r| r.as_array())
+            .expect("closed_runs");
+        assert_eq!(closed[0].get("threads").and_then(|t| t.as_u64()), Some(2));
         assert_eq!(
-            runs[0]
-                .get("latency_us")
-                .and_then(|l| l.get("p99"))
-                .and_then(|p| p.as_u64()),
-            Some(5000)
+            closed[0]
+                .get("hns_cache")
+                .and_then(|c| c.get("cold_walks"))
+                .and_then(|c| c.as_u64()),
+            Some(50),
+            "cold volume is explicit, not buried in misses"
         );
+        assert_eq!(
+            closed[0]
+                .get("binding_cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(|h| h.as_u64()),
+            Some(850)
+        );
+        let open = v
+            .get("open_runs")
+            .and_then(|r| r.as_array())
+            .expect("open_runs");
+        assert_eq!(open[0].get("backlog_max").and_then(|b| b.as_u64()), Some(3));
     }
 
     #[test]
     fn validate_rejects_wrong_schema_and_empty_runs() {
         assert!(validate("{\"schema\": \"other\"}").is_err());
-        let cfg = LoadConfig::default();
-        let empty = to_json(&cfg, 1, &[]);
-        assert!(validate(&empty).is_err());
+        let mut rep = sample_report();
+        rep.runs.clear();
+        rep.open_runs.clear();
+        assert!(validate(&rep.to_json()).is_err());
+    }
+
+    #[test]
+    fn regression_check_compares_matching_thread_counts() {
+        let rep = sample_report();
+        let baseline = rep.to_json();
+        // Identical run: trivially above any factor < 1.
+        check_regression(&rep, &baseline, 0.5).expect("no regression vs itself");
+        // A baseline 3x faster at the same thread count trips the guard.
+        let mut fast = sample_report();
+        fast.runs[0].qps = 6000.0;
+        let fast_baseline = fast.to_json();
+        let err = check_regression(&rep, &fast_baseline, 0.5).expect_err("regression");
+        assert!(err.contains("regression at 2 threads"), "{err}");
+        // v1 baselines (`runs`) still compare.
+        let v1 = "{\"schema\": \"hns-load-v1\", \"runs\": [{\"threads\": 2, \"qps\": 1000.0}]}";
+        check_regression(&rep, v1, 0.5).expect("v1 baseline accepted");
+        // Disjoint thread counts are an error, not a silent pass.
+        let disjoint = "{\"runs\": [{\"threads\": 64, \"qps\": 1.0}]}";
+        assert!(check_regression(&rep, disjoint, 0.5).is_err());
     }
 }

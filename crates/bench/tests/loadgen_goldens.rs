@@ -1,0 +1,48 @@
+//! The load engine must not perturb the virtual-time goldens.
+//!
+//! The sharded dispatch work (composed binding cache, batched
+//! virtual-time charging, per-worker worlds) is pure throughput
+//! machinery: it must never change what the simulation *computes*. This
+//! test drives an 8-thread closed-loop run — binding cache on, batched
+//! charging on, worker-striped clocks hot — and then re-renders the
+//! flagship deterministic experiments in the same process, asserting
+//! they are byte-identical to the committed golden and to a fresh
+//! render. Any leakage from the load path into simulation semantics
+//! (a stray charge, a perturbed instant, thread-dependent metric
+//! registration) fails here.
+
+use hns_bench::experiments as exp;
+use hns_bench::loadgen;
+
+#[test]
+fn eight_thread_load_run_leaves_goldens_byte_identical() {
+    let config = loadgen::LoadConfig {
+        threads: vec![8],
+        ops_per_thread: 100,
+        offered_qps: vec![2_000.0],
+        open_threads: 2,
+        open_duration_ms: 100,
+        ..loadgen::LoadConfig::default()
+    };
+    let rep = loadgen::run(&config);
+    assert_eq!(rep.runs[0].ops, 800, "8 workers completed every op");
+    assert!(!rep.open_runs.is_empty());
+
+    // table31, after the load run, on the load run's threads' process:
+    // byte-identical to the committed golden.
+    let rendered = format!(
+        "=== experiment: table31 ===\n{}\n",
+        exp::table31::run().render()
+    );
+    let golden = include_str!("../golden/table31.txt");
+    assert!(
+        rendered == golden,
+        "table31 diverged after an 8-thread load run\n--- golden ---\n{golden}\n--- got ---\n{rendered}"
+    );
+
+    // The traced scenario (spans + metrics snapshot) is equally a pure
+    // function of the cost model; two renders must agree byte-for-byte.
+    let a = exp::traced::run().render();
+    let b = exp::traced::run().render();
+    assert_eq!(a, b, "traced render must stay deterministic");
+}

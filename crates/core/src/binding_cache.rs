@@ -1,0 +1,270 @@
+//! The composed `FindNSM` binding cache.
+//!
+//! The per-mapping [`HnsCache`](crate::cache::HnsCache) makes a warm
+//! `FindNSM` free of *remote* work, but the walk itself still runs all
+//! six mappings: six meta-key constructions, six shard probes, and —
+//! the dominant cost at load — re-parsing the cached payload strings
+//! into `ContextInfo` / NSM-name / `NsmInfo` structures on every query.
+//! At hundreds of thousands of queries per second that parse-and-alloc
+//! tax *is* the hot path.
+//!
+//! This cache composes the whole walk: the final [`HrpcBinding`] for a
+//! `(query class, context)` pair, tagged with the **minimum remaining
+//! TTL across every constituent mapping entry** observed while the walk
+//! ran. Until that composed TTL lapses, no constituent can have expired
+//! either (meta entries only leave the cache by TTL; dynamic updates
+//! re-register and bump serials before any TTL math would let a
+//! composed entry outlive its parts), so serving the composed binding
+//! is exactly as fresh as re-walking the per-mapping cache. A warm
+//! `FindNSM` becomes one shard probe returning a `Copy` binding.
+//!
+//! Disabled by default: the paper's measured shape (Table 3.1) is the
+//! six-mapping walk, and every golden experiment keeps that shape.
+//! The load engine enables it per instance via
+//! [`Hns::set_binding_cache`](crate::service::Hns::set_binding_cache).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use hrpc::HrpcBinding;
+use parking_lot::Mutex;
+use simnet::time::{SimDuration, SimTime};
+use simnet::world::World;
+
+/// Number of lock-striped shards (matches the per-mapping cache).
+const SHARDS: usize = 16;
+
+/// One composed entry: the bound result and when the *earliest*
+/// constituent mapping entry expires.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    binding: HrpcBinding,
+    expires_at: SimTime,
+}
+
+/// Statistics of a [`BindingCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BindingCacheStats {
+    /// Probes answered by a live composed entry.
+    pub hits: u64,
+    /// Probes that found nothing composed (the walk ran).
+    pub misses: u64,
+    /// Probes that found an entry whose composed TTL had lapsed.
+    pub expired: u64,
+    /// Composed entries inserted after successful walks.
+    pub inserts: u64,
+}
+
+/// A sharded cache of composed `FindNSM` results.
+///
+/// Keys are `(query class, context)` — the individual name plays no
+/// part in the mapping walk, so all names in a context share one entry
+/// per query class.
+pub struct BindingCache {
+    enabled: AtomicBool,
+    shards: Vec<Mutex<HashMap<(String, String), Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expired: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for BindingCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BindingCache {
+    /// Creates a disabled, empty cache.
+    pub fn new() -> Self {
+        BindingCache {
+            enabled: AtomicBool::new(false),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables or disables the cache. Disabling clears it, so a
+    /// re-enable starts cold.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            for shard in &self.shards {
+                shard.lock().clear();
+            }
+        }
+    }
+
+    /// Whether the cache is consulted at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, qc: &str, context: &str) -> &Mutex<HashMap<(String, String), Entry>> {
+        let mut hasher = DefaultHasher::new();
+        qc.hash(&mut hasher);
+        context.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Probes for a live composed binding, charging one cache-probe
+    /// cost. Returns `None` (without charging more) when disabled.
+    pub fn lookup(&self, world: &World, qc: &str, context: &str) -> Option<HrpcBinding> {
+        if !self.enabled() {
+            return None;
+        }
+        world.charge_ms(world.costs.cache_probe);
+        let now = world.now();
+        let shard = self.shard(qc, context).lock();
+        match shard.get(&(qc.to_string(), context.to_string())) {
+            Some(entry) if entry.expires_at > now => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.binding)
+            }
+            Some(_) => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a composed result whose earliest constituent expires in
+    /// `min_ttl_secs`. A zero TTL (a stale-served walk) is not cached.
+    pub fn insert(
+        &self,
+        world: &World,
+        qc: &str,
+        context: &str,
+        binding: HrpcBinding,
+        min_ttl_secs: u32,
+    ) {
+        if !self.enabled() || min_ttl_secs == 0 {
+            return;
+        }
+        let expires_at = world.now() + SimDuration::from_ms(u64::from(min_ttl_secs) * 1000);
+        self.shard(qc, context).lock().insert(
+            (qc.to_string(), context.to_string()),
+            Entry {
+                binding,
+                expires_at,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BindingCacheStats {
+        BindingCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exports the current statistics into a metrics registry under
+    /// `component` (published at snapshot time like the per-mapping
+    /// cache's stats; never registered while the cache is disabled and
+    /// untouched, so default-configuration snapshots are unchanged).
+    pub fn export_metrics(&self, metrics: &simnet::obs::MetricsRegistry, component: &str) {
+        let s = self.stats();
+        metrics.set_counter(component, "hits", s.hits);
+        metrics.set_counter(component, "misses", s.misses);
+        metrics.set_counter(component, "expired", s.expired);
+        metrics.set_counter(component, "inserts", s.inserts);
+    }
+}
+
+impl std::fmt::Debug for BindingCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BindingCache")
+            .field("enabled", &self.enabled())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrpc::ProgramId;
+    use simnet::topology::{HostId, NetAddr};
+
+    fn binding(host: u32) -> HrpcBinding {
+        HrpcBinding {
+            host: HostId(host),
+            addr: NetAddr::of(HostId(host)),
+            program: ProgramId(17),
+            port: 1234,
+            components: hrpc::ComponentSet::sun(),
+        }
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let w = World::paper();
+        let c = BindingCache::new();
+        c.insert(&w, "hrpc_binding", "dept0", binding(1), 600);
+        assert_eq!(c.lookup(&w, "hrpc_binding", "dept0"), None);
+        assert_eq!(c.stats(), BindingCacheStats::default());
+        // Probes of a disabled cache charge nothing.
+        assert_eq!(w.now().as_us(), 0);
+    }
+
+    #[test]
+    fn hit_until_composed_ttl_lapses_then_expired() {
+        let w = World::paper();
+        let c = BindingCache::new();
+        c.set_enabled(true);
+        assert_eq!(c.lookup(&w, "qc", "ctx"), None, "cold miss");
+        c.insert(&w, "qc", "ctx", binding(2), 2);
+        assert_eq!(c.lookup(&w, "qc", "ctx"), Some(binding(2)));
+        w.charge_ms(2_000.0);
+        assert_eq!(c.lookup(&w, "qc", "ctx"), None, "composed TTL lapsed");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.expired, s.inserts), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn zero_ttl_walks_are_not_cached() {
+        let w = World::paper();
+        let c = BindingCache::new();
+        c.set_enabled(true);
+        c.insert(&w, "qc", "ctx", binding(3), 0);
+        assert_eq!(c.lookup(&w, "qc", "ctx"), None);
+        assert_eq!(c.stats().inserts, 0);
+    }
+
+    #[test]
+    fn disabling_clears_entries() {
+        let w = World::paper();
+        let c = BindingCache::new();
+        c.set_enabled(true);
+        c.insert(&w, "qc", "ctx", binding(4), 600);
+        c.set_enabled(false);
+        c.set_enabled(true);
+        assert_eq!(c.lookup(&w, "qc", "ctx"), None, "re-enable starts cold");
+    }
+
+    #[test]
+    fn entries_are_per_query_class_and_context() {
+        let w = World::paper();
+        let c = BindingCache::new();
+        c.set_enabled(true);
+        c.insert(&w, "a", "ctx", binding(5), 600);
+        c.insert(&w, "b", "ctx", binding(6), 600);
+        assert_eq!(c.lookup(&w, "a", "ctx"), Some(binding(5)));
+        assert_eq!(c.lookup(&w, "b", "ctx"), Some(binding(6)));
+        assert_eq!(c.lookup(&w, "a", "other"), None);
+    }
+}

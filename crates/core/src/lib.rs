@@ -22,11 +22,15 @@
 //!   enabled), plus zone-transfer cache preload.
 //! * [`cache`] — the sharded, miss-coalescing marshalled/demarshalled TTL
 //!   cache of Table 3.2, with negative caching.
+//! * [`binding_cache`] — an opt-in composed-result cache: a warm
+//!   `FindNSM` collapses to one probe returning the final binding,
+//!   fresh for the minimum TTL of the constituent mapping entries.
 //! * [`colocation`] — linked / remote / agent arrangements of Table 3.1.
 //! * [`analysis`] — equation (1) and the preload break-even model.
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod binding_cache;
 pub mod cache;
 pub mod chaser;
 pub mod colocation;
@@ -39,6 +43,7 @@ pub mod service;
 
 pub use simnet::obs;
 
+pub use binding_cache::{BindingCache, BindingCacheStats};
 pub use cache::{
     CacheLookup, CacheMode, FetchTicket, HnsCache, HnsCacheStats, LookupOrFetch, MetaKey,
 };

@@ -35,6 +35,7 @@ use wire::Value;
 use simnet::time::SimDuration;
 use simnet::trace::CacheOutcome;
 
+use crate::binding_cache::{BindingCache, BindingCacheStats};
 use crate::cache::{CacheMode, HnsCache, HnsCacheStats, LookupOrFetch, MetaKey};
 use crate::error::{HnsError, HnsResult};
 use crate::meta::{ContextInfo, Fetched, MetaStore};
@@ -53,6 +54,9 @@ pub struct Hns {
     meta: MetaStore,
     meta_binding: HrpcBinding,
     cache: HnsCache,
+    /// Composed `FindNSM` results (off by default; see
+    /// [`crate::binding_cache`]).
+    binding_cache: BindingCache,
     /// Linked NSM registry. Read-mostly: linking happens at deployment,
     /// mapping 6 reads on every cold walk. Readers take an `Arc`
     /// snapshot; writers rebuild and swap.
@@ -138,6 +142,7 @@ impl Hns {
             meta: MetaStore::new(resolver, origin),
             meta_binding,
             cache: HnsCache::new(cache_mode),
+            binding_cache: BindingCache::new(),
             linked_nsms: RwLock::new(Arc::new(HashMap::new())),
             batching: AtomicBool::new(false),
             handles: HnsMetricHandles::default(),
@@ -217,6 +222,23 @@ impl Hns {
     /// Cache statistics.
     pub fn cache_stats(&self) -> HnsCacheStats {
         self.cache.stats()
+    }
+
+    /// Enables or disables the composed binding cache (disabling clears
+    /// it). Off by default: the per-mapping walk is the paper's measured
+    /// shape; composing it is a throughput optimization on top.
+    pub fn set_binding_cache(&self, enabled: bool) {
+        self.binding_cache.set_enabled(enabled);
+    }
+
+    /// Whether the composed binding cache is enabled.
+    pub fn binding_cache_enabled(&self) -> bool {
+        self.binding_cache.enabled()
+    }
+
+    /// Composed binding-cache statistics.
+    pub fn binding_cache_stats(&self) -> BindingCacheStats {
+        self.binding_cache.stats()
     }
 
     /// Clears the cache.
@@ -340,11 +362,15 @@ impl Hns {
         }
     }
 
+    /// Internal mapping helpers return `(parsed, remaining TTL secs)`;
+    /// the walk folds the TTLs into the composed binding cache's
+    /// freshness bound. A serve-stale result reports TTL 0, which keeps
+    /// the composed entry uncacheable.
     fn context_info_with(
         &self,
         context: &Context,
         overlay: Option<&BatchOverlay>,
-    ) -> HnsResult<ContextInfo> {
+    ) -> HnsResult<(ContextInfo, u32)> {
         let key = self.meta.context_key(context)?;
         let fetched = self.cached_fetch_with(&key, overlay).map_err(|e| match e {
             HnsError::Rpc(RpcError::NotFound(_)) => {
@@ -352,12 +378,12 @@ impl Hns {
             }
             other => other,
         })?;
-        MetaStore::parse_context(&fetched.value)
+        Ok((MetaStore::parse_context(&fetched.value)?, fetched.ttl_secs))
     }
 
     /// Mapping 1 (or 4): context → name service, through the cache.
     pub fn context_info(&self, context: &Context) -> HnsResult<ContextInfo> {
-        self.context_info_with(context, None)
+        self.context_info_with(context, None).map(|(info, _)| info)
     }
 
     fn nsm_name_with(
@@ -365,7 +391,7 @@ impl Hns {
         name_service: &str,
         qc: &QueryClass,
         overlay: Option<&BatchOverlay>,
-    ) -> HnsResult<String> {
+    ) -> HnsResult<(String, u32)> {
         let key = self.meta.nsm_name_key(name_service, qc)?;
         let fetched = self.cached_fetch_with(&key, overlay).map_err(|e| match e {
             HnsError::Rpc(RpcError::NotFound(_)) => HnsError::NoSuchNsm {
@@ -374,23 +400,31 @@ impl Hns {
             },
             other => other,
         })?;
-        MetaStore::parse_nsm_name(&fetched.value)
+        Ok((MetaStore::parse_nsm_name(&fetched.value)?, fetched.ttl_secs))
     }
 
     /// Mapping 2 (or 5): (name service, query class) → NSM name.
     pub fn nsm_name(&self, name_service: &str, qc: &QueryClass) -> HnsResult<String> {
         self.nsm_name_with(name_service, qc, None)
+            .map(|(name, _)| name)
     }
 
-    fn nsm_info_with(&self, nsm_name: &str, overlay: Option<&BatchOverlay>) -> HnsResult<NsmInfo> {
+    fn nsm_info_with(
+        &self,
+        nsm_name: &str,
+        overlay: Option<&BatchOverlay>,
+    ) -> HnsResult<(NsmInfo, u32)> {
         let key = self.meta.nsm_info_key(nsm_name)?;
         let fetched = self.cached_fetch_with(&key, overlay)?;
-        NsmInfo::from_records(nsm_name, &fetched.value)
+        Ok((
+            NsmInfo::from_records(nsm_name, &fetched.value)?,
+            fetched.ttl_secs,
+        ))
     }
 
     /// Mapping 3 (first half): NSM name → binding information.
     pub fn nsm_info(&self, nsm_name: &str) -> HnsResult<NsmInfo> {
-        self.nsm_info_with(nsm_name, None)
+        self.nsm_info_with(nsm_name, None).map(|(info, _)| info)
     }
 
     /// Mapping 6: NSM host name → address, via the linked host-address NSM
@@ -401,12 +435,18 @@ impl Hns {
         ha_nsm_name: &str,
         host_name: &str,
         host_context: &Context,
-    ) -> HnsResult<HostId> {
+    ) -> HnsResult<(HostId, u32)> {
         self.world().charge_ms(self.world().costs.hns_bookkeeping);
         let cache_key = MetaKey::HostAddr(host_ns.to_string(), host_name.to_string());
         let _guard = match self.cache.lookup_or_fetch(self.world(), &cache_key) {
-            LookupOrFetch::Hit { value, .. } => {
-                return Ok(HostId(value.u32_field("host").map_err(HnsError::from)?));
+            LookupOrFetch::Hit {
+                value,
+                remaining_ttl_secs,
+            } => {
+                return Ok((
+                    HostId(value.u32_field("host").map_err(HnsError::from)?),
+                    remaining_ttl_secs,
+                ));
             }
             // Host-address keys never cache negatives; fetch directly.
             LookupOrFetch::NegativeHit => None,
@@ -438,8 +478,9 @@ impl Hns {
                 // not (paper §4).
                 if let Some(stale) = self.cache.lookup_stale(self.world(), &cache_key) {
                     self.note_stale_serve(|| format!("hostaddr {host_name} ({err})"));
-                    return Ok(HostId(
-                        stale.value.u32_field("host").map_err(HnsError::from)?,
+                    return Ok((
+                        HostId(stale.value.u32_field("host").map_err(HnsError::from)?),
+                        0,
                     ));
                 }
                 return Err(HnsError::Rpc(err));
@@ -449,7 +490,7 @@ impl Hns {
         let host = HostId(reply.u32_field("host").map_err(HnsError::from)?);
         let ttl = reply.u32_field("ttl").unwrap_or(crate::meta::META_TTL);
         self.cache.insert(self.world(), cache_key, &reply, 1, ttl);
-        Ok(host)
+        Ok((host, ttl))
     }
 
     /// Speculatively fetches the whole meta-mapping chain for (`context`,
@@ -520,6 +561,31 @@ impl Hns {
     ) -> HnsResult<(HrpcBinding, FindNsmReport)> {
         let world = Arc::clone(self.world());
         let batched = self.batching();
+
+        // Composed fast path: a live binding-cache entry answers the
+        // whole query in one probe. Only the context matters — the
+        // individual name plays no part in the mapping walk.
+        if self.binding_cache.enabled() {
+            let t0 = world.now();
+            if let Some(binding) =
+                self.binding_cache
+                    .lookup(&world, qc.as_str(), name.context.as_str())
+            {
+                world.cache_outcome(CacheOutcome::Hit);
+                let took = world.now().since(t0);
+                self.record_query_metrics(&world, batched, 0, took, false);
+                return Ok((
+                    binding,
+                    FindNsmReport {
+                        remote_round_trips: 0,
+                        batched,
+                        stale_served: false,
+                        took,
+                    },
+                ));
+            }
+        }
+
         let span = world.span_lazy(Some(self.host), TraceKind::Hns, || {
             format!("FindNSM(query class {qc}, name {name})")
         });
@@ -533,6 +599,35 @@ impl Hns {
         span.add_round_trips(remote_round_trips);
         drop(span);
 
+        self.record_query_metrics(&world, batched, remote_round_trips, took, result.is_err());
+
+        let (binding, min_ttl) = result?;
+        // A zero `min_ttl` (some constituent was stale-served or about to
+        // lapse) is refused by the insert, so composed entries never
+        // outlive their parts.
+        self.binding_cache
+            .insert(&world, qc.as_str(), name.context.as_str(), binding, min_ttl);
+        Ok((
+            binding,
+            FindNsmReport {
+                remote_round_trips,
+                batched,
+                stale_served,
+                took,
+            },
+        ))
+    }
+
+    /// Per-query metric updates shared by the composed fast path and the
+    /// full mapping walk.
+    fn record_query_metrics(
+        &self,
+        world: &World,
+        batched: bool,
+        remote_round_trips: u64,
+        took: SimDuration,
+        is_err: bool,
+    ) {
         let metrics = world.metrics();
         self.handles
             .find_nsm_calls
@@ -543,7 +638,7 @@ impl Hns {
         self.handles
             .find_nsm_errors
             .get(metrics, "hns", "find_nsm_errors")
-            .add(u64::from(result.is_err()));
+            .add(u64::from(is_err));
         self.handles
             .find_nsm_remote_round_trips
             .get(metrics, "hns", "find_nsm_remote_round_trips")
@@ -565,17 +660,6 @@ impl Hns {
         self.handles
             .find_nsm_us
             .record_ms(metrics, "hns", "find_nsm_us", took.as_ms_f64());
-
-        let binding = result?;
-        Ok((
-            binding,
-            FindNsmReport {
-                remote_round_trips,
-                batched,
-                stale_served,
-                took,
-            },
-        ))
     }
 
     /// Runs `f` inside a `mapping {idx}` child span and records its
@@ -611,12 +695,15 @@ impl Hns {
         result
     }
 
+    /// The mapping walk. Returns the binding plus the minimum remaining
+    /// TTL across the six mapping entries consulted — the freshness
+    /// bound for a composed binding-cache entry.
     fn find_nsm_inner(
         &self,
         qc: &QueryClass,
         name: &HnsName,
         batched: bool,
-    ) -> HnsResult<HrpcBinding> {
+    ) -> HnsResult<(HrpcBinding, u32)> {
         // With batching enabled, one MQUERY fetches mapping 1 and lets the
         // meta server's chaser piggyback mappings 2-5; the walk below then
         // runs against the overlay instead of making per-mapping calls.
@@ -641,13 +728,13 @@ impl Hns {
         };
         let overlay = overlay.as_ref();
         // Mapping 1: Context -> Name Service Name.
-        let ctx_info = self.with_mapping(
+        let (ctx_info, ttl1) = self.with_mapping(
             1,
             || format!("context {} -> name service", name.context),
             || self.context_info_with(&name.context, overlay),
         )?;
         // Mapping 2: Name Service Name, Query Class -> NSM Name.
-        let nsm_name = self.with_mapping(
+        let (nsm_name, ttl2) = self.with_mapping(
             2,
             || format!("({}, {qc}) -> NSM name", ctx_info.name_service),
             || self.nsm_name_with(&ctx_info.name_service, qc, overlay),
@@ -655,17 +742,17 @@ impl Hns {
         // Mapping 3: NSM Name -> HRPC Binding for the NSM. The stored info
         // names the NSM's host; translating that is itself an HNS naming
         // operation (mappings 4-6).
-        let info = self.with_mapping(
+        let (info, ttl3) = self.with_mapping(
             3,
             || format!("NSM {nsm_name} -> binding info"),
             || self.nsm_info_with(&nsm_name, overlay),
         )?;
-        let host_ctx_info = self.with_mapping(
+        let (host_ctx_info, ttl4) = self.with_mapping(
             4,
             || format!("host context {} -> name service", info.host_context),
             || self.context_info_with(&info.host_context, overlay),
         )?;
-        let ha_nsm = self.with_mapping(
+        let (ha_nsm, ttl5) = self.with_mapping(
             5,
             || {
                 format!(
@@ -681,7 +768,7 @@ impl Hns {
                 )
             },
         )?;
-        let host = self.with_mapping(
+        let (host, ttl6) = self.with_mapping(
             6,
             || format!("host {} -> address", info.host_name),
             || {
@@ -705,14 +792,21 @@ impl Hns {
             TraceKind::Hns,
             format!("FindNSM -> {nsm_name} at {host}:{}", info.port),
         );
-        Ok(binding)
+        let min_ttl = ttl1.min(ttl2).min(ttl3).min(ttl4).min(ttl5).min(ttl6);
+        Ok((binding, min_ttl))
     }
 
     /// Publishes this instance's cache statistics into the world's
-    /// metrics registry (component `hns_cache`).
+    /// metrics registry (component `hns_cache`, plus
+    /// `hns_binding_cache` when the composed cache is enabled — gated so
+    /// default-configuration snapshots are unchanged).
     pub fn export_metrics(&self) {
         self.cache
             .export_metrics(self.world().metrics(), "hns_cache");
+        if self.binding_cache.enabled() {
+            self.binding_cache
+                .export_metrics(self.world().metrics(), "hns_binding_cache");
+        }
     }
 
     /// Preloads the cache by zone transfer of the whole meta zone.

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
-    Counter, CounterSample, Histogram, HistogramSample, LazyCounter, LazyHistogram,
+    Counter, CounterSample, Histogram, HistogramSample, LazyCounter, LazyHistogram, LocalHistogram,
     MetricsRegistry, MetricsSnapshot,
 };
 pub use trace::{CacheOutcome, QueryTrace, SpanId, SpanRecord, TraceEvent, TraceKind, Tracer};

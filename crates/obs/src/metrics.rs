@@ -271,8 +271,116 @@ impl Histogram {
     }
 }
 
-/// Point-in-time statistics of one histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A single-owner histogram with the exact bucket layout of
+/// [`Histogram`] but plain (non-atomic) cells.
+///
+/// The sharded load engine gives each worker one of these: the per-op
+/// record is two array writes and four scalar updates with no shared
+/// cache-line traffic at all, and the per-worker histograms merge into
+/// one global distribution after the run. [`LocalHistogram::merge`] is
+/// exact — merging K workers' histograms yields bucket-for-bucket the
+/// same distribution as recording every sample into one histogram
+/// (proptested in the bench crate).
+#[derive(Clone)]
+pub struct LocalHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LocalHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into `self`, bucket by bucket.
+    pub fn merge(&mut self, other: &LocalHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `p` in `[0, 1]`, as [`Histogram::percentile`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= target {
+                return bucket_upper(i);
+            }
+        }
+        self.max
+    }
+
+    /// Point-in-time statistics, shaped like [`Histogram`]'s.
+    pub fn stats(&self) -> HistogramStats {
+        HistogramStats {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .finish()
+    }
+}
+
+/// Point-in-time statistics of one histogram. The all-zero `Default`
+/// matches the stats of an empty histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HistogramStats {
     pub count: u64,
     pub sum: u64,
@@ -640,6 +748,45 @@ mod tests {
             &m.counter("net", "remote_calls"),
             &m.counter("net", "remote_calls")
         ));
+    }
+
+    #[test]
+    fn local_histogram_matches_atomic_histogram() {
+        let atomic = Histogram::new();
+        let mut local = LocalHistogram::new();
+        for v in [0u64, 1, 63, 64, 100, 5_000, 1 << 30] {
+            atomic.record(v);
+            local.record(v);
+        }
+        assert_eq!(local.stats(), atomic.sample());
+    }
+
+    #[test]
+    fn local_histogram_merge_is_exact() {
+        let mut a = LocalHistogram::new();
+        let mut b = LocalHistogram::new();
+        let mut all = LocalHistogram::new();
+        for v in 0..1000u64 {
+            if v % 3 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            all.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.stats(), all.stats());
+        assert_eq!(a.buckets, all.buckets);
+    }
+
+    #[test]
+    fn local_histogram_empty_merge_and_stats() {
+        let mut a = LocalHistogram::new();
+        let b = LocalHistogram::new();
+        a.merge(&b);
+        assert!(a.is_empty());
+        let s = a.stats();
+        assert_eq!((s.count, s.min, s.max, s.p50), (0, 0, 0, 0));
     }
 
     /// Satellite: N threads recording into one histogram yield exact

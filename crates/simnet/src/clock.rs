@@ -8,7 +8,8 @@
 //! virtual time elapsed across an operation is exactly the paper's elapsed
 //! time, computed deterministically.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -30,6 +31,18 @@ const STRIPES: usize = 8;
 #[repr(align(64))]
 struct ClockStripe(AtomicU64);
 
+/// Process-unique ids for clocks, so batched thread-local charges can
+/// never be mis-attributed to a different clock that happens to reuse
+/// a freed clock's address.
+static NEXT_CLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread unflushed charges, keyed by clock id. Almost always
+    /// holds at most one entry (a thread drives one world at a time),
+    /// so a linear scan beats any map.
+    static PENDING: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
 /// The standard monotonically-advancing virtual clock.
 ///
 /// Cheap to share (`Arc<VirtualClock>`), safe to advance from any thread.
@@ -38,8 +51,25 @@ struct ClockStripe(AtomicU64);
 /// so concurrent chargers never contend on one cache line. Because
 /// addition commutes, single-threaded runs read exactly the same
 /// instants as the unstriped design, and a reader's successive `now()`
-/// calls are monotone (each stripe only grows, and SeqCst loads never
-/// observe older values than a prior load).
+/// calls are monotone: each stripe only grows, and per-location
+/// coherence guarantees a later load of a stripe never observes an
+/// older value than an earlier load, even with `Relaxed` ordering — so
+/// the sum never decreases for any single reader.
+///
+/// # Batched charging
+///
+/// [`VirtualClock::set_batched`] turns per-charge shared-atomic updates
+/// into thread-local accumulation: `advance` adds to a thread-local
+/// pending cell and the pending total is flushed to this thread's
+/// stripe whenever the same thread calls `now()` (or
+/// [`VirtualClock::flush_local`]). Because every read flushes first,
+/// a single-threaded run observes *exactly* the same sequence of
+/// instants as unbatched charging — golden outputs stay byte-identical
+/// — while hot loops that charge many times between reads skip the
+/// shared-cache-line traffic entirely. Cross-thread visibility of
+/// another thread's still-pending charges lags until that thread reads
+/// or flushes; a thread that stops using a batched clock must call
+/// `flush_local` or its tail charges are dropped with the thread.
 ///
 /// # Examples
 ///
@@ -51,15 +81,55 @@ struct ClockStripe(AtomicU64);
 /// clock.advance(SimDuration::from_ms(27));
 /// assert_eq!(clock.now().as_us(), 27_000);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct VirtualClock {
+    id: u64,
+    batched: AtomicBool,
     stripes: [ClockStripe; STRIPES],
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock {
+            id: NEXT_CLOCK_ID.fetch_add(1, Ordering::Relaxed),
+            batched: AtomicBool::new(false),
+            stripes: Default::default(),
+        }
+    }
 }
 
 impl VirtualClock {
     /// Creates a clock at the origin of virtual time.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables batched charging (see the type docs). When
+    /// disabling, the calling thread's pending charges are flushed;
+    /// other threads flush on their own next read.
+    pub fn set_batched(&self, enabled: bool) {
+        self.batched.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.flush_local();
+        }
+    }
+
+    /// Whether batched charging is enabled.
+    pub fn batched(&self) -> bool {
+        self.batched.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the calling thread's pending batched charges into its
+    /// stripe. A no-op when nothing is pending.
+    pub fn flush_local(&self) {
+        let pending =
+            PENDING.with_borrow_mut(|v| match v.iter().position(|&(id, _)| id == self.id) {
+                Some(i) => v.swap_remove(i).1,
+                None => 0,
+            });
+        if pending > 0 {
+            self.stripe().fetch_add(pending, Ordering::Relaxed);
+        }
     }
 
     /// The stripe the calling thread charges against.
@@ -77,10 +147,12 @@ impl VirtualClock {
     }
 
     /// Resets the clock to the origin. Intended for experiment harnesses
-    /// that reuse one world across trials.
+    /// that reuse one world across trials. The calling thread's pending
+    /// batched charges are discarded with the elapsed time.
     pub fn reset(&self) {
+        PENDING.with_borrow_mut(|v| v.retain(|&(id, _)| id != self.id));
         for s in &self.stripes {
-            s.0.store(0, Ordering::SeqCst);
+            s.0.store(0, Ordering::Relaxed);
         }
     }
 
@@ -94,16 +166,27 @@ impl VirtualClock {
 
 impl Clock for VirtualClock {
     fn now(&self) -> SimTime {
+        if self.batched() {
+            self.flush_local();
+        }
         SimTime::from_us(
             self.stripes
                 .iter()
-                .map(|s| s.0.load(Ordering::SeqCst))
+                .map(|s| s.0.load(Ordering::Relaxed))
                 .sum(),
         )
     }
 
     fn advance(&self, d: SimDuration) {
-        self.stripe().fetch_add(d.as_us(), Ordering::SeqCst);
+        let us = d.as_us();
+        if self.batched() {
+            PENDING.with_borrow_mut(|v| match v.iter_mut().find(|(id, _)| *id == self.id) {
+                Some((_, pending)) => *pending += us,
+                None => v.push((self.id, us)),
+            });
+        } else {
+            self.stripe().fetch_add(us, Ordering::Relaxed);
+        }
     }
 }
 
@@ -164,6 +247,71 @@ mod tests {
         let sw = Stopwatch::start(&c);
         c.advance(SimDuration::from_ms(7));
         assert_eq!(sw.elapsed(&c), SimDuration::from_ms(7));
+    }
+
+    /// Batched charging must be observationally identical to unbatched
+    /// charging for a single thread: every read flushes first, so the
+    /// sequence of instants (the input to every golden output) matches.
+    #[test]
+    fn batched_single_thread_reads_identical_instants() {
+        let plain = VirtualClock::new();
+        let batched = VirtualClock::new();
+        batched.set_batched(true);
+        let mut seen = Vec::new();
+        for i in 0..50u64 {
+            plain.advance(SimDuration::from_us(i * 7 + 1));
+            batched.advance(SimDuration::from_us(i * 7 + 1));
+            if i % 3 == 0 {
+                seen.push((plain.now(), batched.now()));
+            }
+        }
+        for (p, b) in seen {
+            assert_eq!(p, b);
+        }
+        assert_eq!(plain.now(), batched.now());
+    }
+
+    #[test]
+    fn batched_charges_flush_on_demand_and_on_disable() {
+        let c = VirtualClock::new();
+        c.set_batched(true);
+        c.advance(SimDuration::from_ms(5));
+        c.flush_local();
+        c.advance(SimDuration::from_ms(2));
+        // Disabling flushes the caller's pending charges.
+        c.set_batched(false);
+        assert_eq!(c.now().as_us(), 7_000);
+    }
+
+    #[test]
+    fn batched_pending_is_per_clock() {
+        let a = VirtualClock::new();
+        let b = VirtualClock::new();
+        a.set_batched(true);
+        b.set_batched(true);
+        a.advance(SimDuration::from_ms(3));
+        b.advance(SimDuration::from_ms(11));
+        assert_eq!(a.now().as_us(), 3_000);
+        assert_eq!(b.now().as_us(), 11_000);
+    }
+
+    #[test]
+    fn batched_worker_thread_charges_merge_after_flush() {
+        use std::sync::Arc;
+        let c = Arc::new(VirtualClock::new());
+        c.set_batched(true);
+        c.advance(SimDuration::from_ms(1));
+        let worker = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    c.advance(SimDuration::from_us(10));
+                }
+                c.flush_local();
+            })
+        };
+        worker.join().expect("worker");
+        assert_eq!(c.now().as_us(), 2_000);
     }
 
     #[test]

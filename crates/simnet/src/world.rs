@@ -5,7 +5,7 @@
 //! simulated component (RPC suites, name services, the HNS, NSMs) holds an
 //! `Arc<World>` and charges its costs against it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::clock::{Clock, VirtualClock};
@@ -66,6 +66,12 @@ pub struct World {
     metrics: MetricsRegistry,
     net_handles: NetHandles,
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Mirrors `faults.is_some()` so the per-call fault query on the RPC
+    /// hot path is one relaxed load in the (overwhelmingly common)
+    /// fault-free case instead of a read-lock plus `Arc` clone — the
+    /// lock word was a measurable serialization point under
+    /// multi-threaded load.
+    faults_installed: AtomicBool,
 }
 
 /// Cached registry handles for the `net` mirror counters, so the
@@ -92,6 +98,7 @@ impl World {
             metrics: MetricsRegistry::new(),
             net_handles: NetHandles::default(),
             faults: RwLock::new(None),
+            faults_installed: AtomicBool::new(false),
         })
     }
 
@@ -221,11 +228,28 @@ impl World {
     /// charged, registered, or traced — so fault-free runs stay
     /// byte-identical.
     pub fn set_faults(&self, plan: Option<FaultPlan>) {
+        let installed = plan.is_some();
+        // Installing: plan first, flag second, so a racing reader never
+        // sees the flag set with no plan behind it. Clearing: flag
+        // first, so a reader at worst stops observing a plan that is
+        // about to be removed anyway. (Fault plans are installed at
+        // quiesced points in practice; this just keeps the flag
+        // conservative in both directions.)
+        if !installed {
+            self.faults_installed.store(false, Ordering::Release);
+        }
         *self.faults.write().unwrap_or_else(|e| e.into_inner()) = plan.map(Arc::new);
+        if installed {
+            self.faults_installed.store(true, Ordering::Release);
+        }
     }
 
-    /// The currently installed fault plan, if any.
+    /// The currently installed fault plan, if any. One relaxed load when
+    /// no plan is installed — hot paths may call this per RPC attempt.
     pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        if !self.faults_installed.load(Ordering::Acquire) {
+            return None;
+        }
         self.faults
             .read()
             .unwrap_or_else(|e| e.into_inner())
