@@ -7,14 +7,13 @@
 //! experiments table31 table32    # specific experiments
 //! experiments table31 --trace    # also run the traced scenario
 //! experiments --trace-out t.json # write the traced run's JSON export
-//! experiments --validate-trace t.json   # parse a JSON export, exit 1 on error
 //! experiments loadgen --threads 1,2,4,8 --ops 2000 --out BENCH_throughput.json
 //! experiments loadgen --offered-qps 50000,200000 --open-threads 4 --open-duration-ms 500
 //! experiments loadgen --baseline BENCH_throughput.json --regress 0.5
-//! experiments --validate-load BENCH_throughput.json
 //! experiments chaos --crash --partition --seed 42 --out chaos.json
 //! experiments chaos --seed 42 --validate-chaos   # validate the run's own JSON
-//! experiments --validate-chaos chaos.json        # validate a file
+//! experiments chaos --timeline-out timeline.json # windowed hns-timeline-v1 export
+//! experiments validate FILE...    # auto-detect and validate any JSON export
 //! ```
 //!
 //! Experiment ids: `table31 table32 overhead comparison preload eq1
@@ -37,7 +36,17 @@
 //! and `--latency-spike` pick the injected faults (no selector = all
 //! three), `--seed` jitters the fault windows, `--out` writes the
 //! `hns-chaos-v1` JSON, and `--validate-chaos` validates either the run's
-//! own export or a file given as its operand.
+//! own export or a file given as its operand. `--timeline-out PATH` also
+//! runs the windowed timeline scenario (E-TL) with the same fault
+//! selection and writes its `hns-timeline-v1` export; `--timeline-window-ms`
+//! sets the window width.
+//!
+//! `validate FILE...` parses each file, auto-detects its schema from the
+//! `schema` tag (`hns-trace-v1`, `hns-load-v2`, `hns-chaos-v1`,
+//! `hns-timeline-v1`), and runs the matching validator, exiting 1 on the
+//! first malformed file. The older `--validate-trace` / `--validate-load`
+//! / `--validate-chaos FILE` flags are thin aliases that additionally pin
+//! the expected schema.
 
 use hns_bench::experiments as exp;
 use hns_bench::loadgen;
@@ -104,31 +113,52 @@ const ALL: &[&str] = &[
     "traced",
 ];
 
-/// Parses a JSON trace export and reports whether it is well-formed and
-/// carries the expected top-level structure.
-fn validate_trace(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let v = hns_bench::obs::json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+/// Validates an `hns-trace-v1` document: schema tag, non-empty query
+/// list, and the metrics snapshot.
+fn validate_trace(text: &str) -> Result<(), String> {
+    let v = hns_bench::obs::json::parse(text).map_err(|e| format!("parse error: {e}"))?;
     if v.get("schema").and_then(|s| s.as_str()) != Some("hns-trace-v1") {
-        return Err(format!("{path}: missing or unexpected `schema`"));
+        return Err("missing or unexpected `schema`".into());
     }
     let queries = v
         .get("queries")
         .and_then(|q| q.as_array())
-        .ok_or_else(|| format!("{path}: missing `queries` array"))?;
+        .ok_or("missing `queries` array")?;
     if queries.is_empty() {
-        return Err(format!("{path}: no queries in export"));
+        return Err("no queries in export".into());
     }
     if v.get("metrics").is_none() {
-        return Err(format!("{path}: missing `metrics` snapshot"));
+        return Err("missing `metrics` snapshot".into());
     }
     Ok(())
 }
 
-/// Validates an `hns-load-v2` throughput baseline.
-fn validate_load(path: &str) -> Result<(), String> {
+/// Reads `path`, auto-detects the export schema from its `schema` tag,
+/// and runs the matching validator. `expected` (from the legacy
+/// per-schema flags) additionally pins which schema the file must carry.
+/// Returns the detected schema name.
+fn validate_any(path: &str, expected: Option<&str>) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    loadgen::report::validate(&text).map_err(|e| format!("{path}: {e}"))
+    let v = hns_bench::obs::json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or_else(|| format!("{path}: missing `schema` tag"))?
+        .to_string();
+    if let Some(expected) = expected {
+        if schema != expected {
+            return Err(format!("{path}: expected `{expected}`, found `{schema}`"));
+        }
+    }
+    let result = match schema.as_str() {
+        "hns-trace-v1" => validate_trace(&text),
+        "hns-load-v2" => loadgen::report::validate(&text),
+        "hns-chaos-v1" => exp::chaos::validate(&text),
+        "hns-timeline-v1" => exp::timeline::validate(&text),
+        other => Err(format!("unknown schema `{other}`")),
+    };
+    result.map_err(|e| format!("{path}: {e}"))?;
+    Ok(schema)
 }
 
 fn parse_or_die<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
@@ -150,25 +180,29 @@ fn main() {
     let mut ids: Vec<&str> = Vec::new();
     let mut trace = false;
     let mut trace_out: Option<String> = None;
-    let mut validate: Option<String> = None;
     let mut load = false;
     let mut load_config = loadgen::LoadConfig::default();
     let mut out: Option<String> = None;
-    let mut load_validate: Option<String> = None;
     let mut load_baseline: Option<String> = None;
     let mut load_regress: f64 = 0.5;
     let mut chaos = false;
     // `None` until a selector flag appears; no selector means all faults.
     let mut chaos_faults: Option<(bool, bool, bool)> = None;
     let mut chaos_seed: u64 = exp::chaos::ChaosConfig::default().seed;
-    let mut chaos_validate_file: Option<String> = None;
     let mut chaos_validate_inline = false;
+    let mut timeline_out: Option<String> = None;
+    let mut timeline_window_ms: u64 = exp::timeline::DEFAULT_WINDOW_MS;
+    // (path, pinned schema) pairs to validate; populated by the
+    // `validate` subcommand (auto-detect) and the legacy flags (pinned).
+    let mut validate_cmd = false;
+    let mut validations: Vec<(String, Option<&'static str>)> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => trace = true,
             "loadgen" => load = true,
             "chaos" => chaos = true,
+            "validate" => validate_cmd = true,
             "--crash" => chaos_faults.get_or_insert((false, false, false)).0 = true,
             "--partition" => chaos_faults.get_or_insert((false, false, false)).1 = true,
             "--latency-spike" => chaos_faults.get_or_insert((false, false, false)).2 = true,
@@ -178,9 +212,20 @@ fn main() {
                 // bare, validate the chaos run's own export inline.
                 match it.peek() {
                     Some(path) if path.ends_with(".json") => {
-                        chaos_validate_file = it.next().cloned();
+                        validations.push((it.next().cloned().unwrap(), Some("hns-chaos-v1")));
                     }
                     _ => chaos_validate_inline = true,
+                }
+            }
+            "--timeline-out" => {
+                chaos = true;
+                timeline_out = Some(parse_or_die("--timeline-out", it.next()));
+            }
+            "--timeline-window-ms" => {
+                timeline_window_ms = parse_or_die("--timeline-window-ms", it.next());
+                if timeline_window_ms == 0 {
+                    eprintln!("error: --timeline-window-ms must be positive");
+                    std::process::exit(1);
                 }
             }
             "--threads" => {
@@ -216,6 +261,13 @@ fn main() {
             "--open-duration-ms" => {
                 load_config.open_duration_ms = parse_or_die("--open-duration-ms", it.next())
             }
+            "--open-window-ms" => {
+                load_config.open_window_ms = parse_or_die("--open-window-ms", it.next());
+                if load_config.open_window_ms == 0 {
+                    eprintln!("error: --open-window-ms must be positive");
+                    std::process::exit(1);
+                }
+            }
             "--baseline" => load_baseline = Some(parse_or_die("--baseline", it.next())),
             "--regress" => load_regress = parse_or_die("--regress", it.next()),
             "--duration-ms" => {
@@ -230,7 +282,10 @@ fn main() {
                 chaos_seed = load_config.seed;
             }
             "--out" => out = Some(parse_or_die("--out", it.next())),
-            "--validate-load" => load_validate = Some(parse_or_die("--validate-load", it.next())),
+            "--validate-load" => validations.push((
+                parse_or_die("--validate-load", it.next()),
+                Some("hns-load-v2"),
+            )),
             "--trace-out" => match it.next() {
                 Some(path) => {
                     trace = true;
@@ -241,55 +296,34 @@ fn main() {
                     std::process::exit(1);
                 }
             },
-            "--validate-trace" => match it.next() {
-                Some(path) => validate = Some(path.clone()),
-                None => {
-                    eprintln!("error: --validate-trace requires a path");
-                    std::process::exit(1);
-                }
-            },
+            "--validate-trace" => validations.push((
+                parse_or_die("--validate-trace", it.next()),
+                Some("hns-trace-v1"),
+            )),
             other => ids.push(other),
         }
     }
 
-    if let Some(path) = validate {
-        match validate_trace(&path) {
-            Ok(()) => {
-                println!("{path}: valid hns-trace-v1 export");
-                return;
-            }
-            Err(err) => {
-                eprintln!("error: {err}");
-                std::process::exit(1);
-            }
+    if validate_cmd {
+        // The subcommand's operands were collected as bare positionals.
+        validations.extend(ids.drain(..).map(|p| (p.to_string(), None)));
+        if validations.is_empty() {
+            eprintln!("error: `validate` requires at least one file");
+            std::process::exit(1);
         }
     }
-    if let Some(path) = load_validate {
-        match validate_load(&path) {
-            Ok(()) => {
-                println!("{path}: valid hns-load-v2 export");
-                return;
-            }
-            Err(err) => {
-                eprintln!("error: {err}");
-                std::process::exit(1);
-            }
-        }
-    }
-    if let Some(path) = chaos_validate_file {
-        let result = std::fs::read_to_string(&path)
-            .map_err(|e| format!("read {path}: {e}"))
-            .and_then(|text| exp::chaos::validate(&text).map_err(|e| format!("{path}: {e}")));
-        match result {
-            Ok(()) => {
-                println!("{path}: valid hns-chaos-v1 export");
-                return;
-            }
-            Err(err) => {
-                eprintln!("error: {err}");
-                std::process::exit(1);
+    if !validations.is_empty() {
+        let mut failed = false;
+        for (path, expected) in &validations {
+            match validate_any(path, *expected) {
+                Ok(schema) => println!("{path}: valid {schema} export"),
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    failed = true;
+                }
             }
         }
+        std::process::exit(i32::from(failed));
     }
 
     let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos) {
@@ -364,6 +398,25 @@ fn main() {
                 failed = true;
             } else {
                 println!("chaos JSON written to {path}");
+            }
+        }
+        if let Some(path) = &timeline_out {
+            println!("=== experiment: chaos timeline ===");
+            let tl = exp::timeline::run(&exp::timeline::TimelineConfig {
+                chaos: config,
+                window_ms: timeline_window_ms,
+            });
+            println!("{}", tl.render());
+            let json = tl.to_json();
+            if let Err(err) = exp::timeline::validate(&json) {
+                eprintln!("error: timeline export invalid: {err}");
+                failed = true;
+            }
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: write {path}: {e}");
+                failed = true;
+            } else {
+                println!("timeline JSON written to {path}");
             }
         }
     }

@@ -247,8 +247,10 @@ pub fn run(config: &ChaosConfig) -> ChaosRun {
         import_op(&importer)
     });
 
-    warm.export_metrics();
-    cold.export_metrics();
+    // Flush every registered snapshot-time cache export. Disabled
+    // caches stay silent, so the cold (Disabled) instance no longer
+    // clobbers the warm instance's `hns_cache` rows with zeros.
+    world.export_all_caches();
     let snapshot = world.metrics().snapshot();
     let recovered = events
         .iter()

@@ -16,4 +16,5 @@ pub mod preload;
 pub mod scalability;
 pub mod table31;
 pub mod table32;
+pub mod timeline;
 pub mod traced;

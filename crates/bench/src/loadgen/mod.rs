@@ -72,7 +72,7 @@ use nsms::nsm_cache::NsmCacheForm;
 use simnet::rng::DetRng;
 
 use crate::cells::PlainTable;
-pub use open::OpenRunResult;
+pub use open::{OpenRunResult, OpenWindow};
 use zipf::ZipfSampler;
 
 /// Distinct departmental contexts in the universe (same shape as the
@@ -108,6 +108,9 @@ pub struct LoadConfig {
     pub open_threads: usize,
     /// Wall-clock duration of each open-loop run.
     pub open_duration_ms: u64,
+    /// Window width for the open-loop per-window series (wall-clock
+    /// milliseconds; operations bin by *scheduled* arrival).
+    pub open_window_ms: u64,
 }
 
 impl Default for LoadConfig {
@@ -124,6 +127,7 @@ impl Default for LoadConfig {
             offered_qps: Vec::new(),
             open_threads: 4,
             open_duration_ms: 500,
+            open_window_ms: 100,
         }
     }
 }
@@ -545,6 +549,22 @@ impl LoadReport {
             }
             out.push('\n');
             out.push_str(&open_table.render());
+            // Per-window overload shape: backlog and mean lateness over
+            // the scheduled horizon, one sparkline pair per level.
+            for r in &self.open_runs {
+                let backlog: Vec<f64> = r.windows.iter().map(|w| w.backlog_max as f64).collect();
+                let lateness: Vec<f64> = r.windows.iter().map(|w| w.lateness_mean_us()).collect();
+                out.push_str(&format!(
+                    "  {:>7.0} QPS windows ({} ms): backlog |{}| max={}  \
+                     lateness |{}| mean max={:.0} us\n",
+                    r.offered_qps,
+                    r.window_ms,
+                    hns_core::obs::timeline::sparkline(&backlog),
+                    r.backlog_max,
+                    hns_core::obs::timeline::sparkline(&lateness),
+                    lateness.iter().cloned().fold(0.0f64, f64::max),
+                ));
+            }
         }
         out
     }

@@ -33,8 +33,70 @@ use simnet::rng::DetRng;
 use super::zipf::ZipfSampler;
 use super::{build_shards, LoadConfig, CONTEXTS};
 
+/// One fixed wall-clock window of an open-loop run. Operations bin by
+/// *scheduled* arrival (`at_us / window`), so window membership is
+/// deterministic for a fixed seed even though the measured values are
+/// wall-clock. Sums and maxima merge exactly across workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenWindow {
+    /// Window index; window `i` covers scheduled arrivals in
+    /// `[i*window_ms, (i+1)*window_ms)`.
+    pub index: u64,
+    /// Operations whose scheduled arrival fell in this window.
+    pub ops: u64,
+    /// Of those, how many returned an error.
+    pub errors: u64,
+    /// Of those, how many were dispatched after their scheduled instant.
+    pub late_ops: u64,
+    /// Deepest due-but-undispatched backlog observed at a dispatch in
+    /// this window.
+    pub backlog_max: u64,
+    /// Sum of dispatch lateness (µs) over the window's operations.
+    pub lateness_sum_us: u64,
+    /// Worst dispatch lateness (µs) in the window.
+    pub lateness_max_us: u64,
+    /// Sum of sojourn latency (µs; completion minus scheduled arrival).
+    pub sojourn_sum_us: u64,
+    /// Worst sojourn latency (µs) in the window.
+    pub sojourn_max_us: u64,
+}
+
+impl OpenWindow {
+    /// Mean dispatch lateness (µs); 0 for an empty window.
+    pub fn lateness_mean_us(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.lateness_sum_us as f64 / self.ops as f64
+        }
+    }
+
+    /// Mean sojourn latency (µs); 0 for an empty window.
+    pub fn sojourn_mean_us(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.sojourn_sum_us as f64 / self.ops as f64
+        }
+    }
+
+    /// Folds another worker's same-index window into this one. Sums add
+    /// and maxima max, so the merge is exact — the merged window equals
+    /// what a single worker observing all the operations would report.
+    fn merge(&mut self, other: &OpenWindow) {
+        self.ops += other.ops;
+        self.errors += other.errors;
+        self.late_ops += other.late_ops;
+        self.backlog_max = self.backlog_max.max(other.backlog_max);
+        self.lateness_sum_us += other.lateness_sum_us;
+        self.lateness_max_us = self.lateness_max_us.max(other.lateness_max_us);
+        self.sojourn_sum_us += other.sojourn_sum_us;
+        self.sojourn_max_us = self.sojourn_max_us.max(other.sojourn_max_us);
+    }
+}
+
 /// Result of one open-loop run (one offered-load level).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OpenRunResult {
     /// Total offered load (QPS) across all workers.
     pub offered_qps: f64,
@@ -65,6 +127,12 @@ pub struct OpenRunResult {
     pub late_ops: u64,
     /// Deepest due-but-undispatched arrival queue observed.
     pub backlog_max: u64,
+    /// Width of the per-window series, wall-clock milliseconds.
+    pub window_ms: u64,
+    /// Per-window overload series covering the whole scheduled horizon
+    /// (`ceil(duration_ms / window_ms)` windows, empty ones included),
+    /// merged exactly across workers.
+    pub windows: Vec<OpenWindow>,
 }
 
 /// Draws a Poisson arrival schedule: microsecond offsets from run
@@ -103,6 +171,7 @@ struct OpenWorkerOut {
     lateness: LocalHistogram,
     late_ops: u64,
     backlog_max: u64,
+    windows: Vec<OpenWindow>,
 }
 
 /// Runs one offered-load level: `config.open_threads` workers, each
@@ -111,6 +180,11 @@ struct OpenWorkerOut {
 pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
     let threads = config.open_threads.max(1);
     let duration_ms = config.open_duration_ms;
+    let window_ms = config.open_window_ms.max(1);
+    let window_us = window_ms * 1_000;
+    let n_windows = (duration_ms as usize * 1_000)
+        .div_ceil(window_us as usize)
+        .max(1);
     let sampler = ZipfSampler::new(CONTEXTS * 3, config.zipf_s);
     let stacks = build_shards(threads, config.faults);
     let schedules: Vec<Vec<u64>> = (0..threads)
@@ -140,6 +214,10 @@ pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
                     let mut errors = 0u64;
                     let mut late_ops = 0u64;
                     let mut backlog_max = 0u64;
+                    let mut windows = vec![OpenWindow::default(); n_windows];
+                    for (i, w) in windows.iter_mut().enumerate() {
+                        w.index = i as u64;
+                    }
                     barrier.wait();
                     let start = Instant::now();
                     for (i, &at_us) in schedule.iter().enumerate() {
@@ -166,11 +244,24 @@ pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
                         // Arrivals already due beyond the ones dispatched
                         // so far (including this one) are the backlog.
                         let due = schedule.partition_point(|&t| t <= dispatched);
-                        backlog_max = backlog_max.max((due - i) as u64);
+                        let backlog = (due - i) as u64;
+                        backlog_max = backlog_max.max(backlog);
                         let (_, failed) = stack.run_op(&mut rng, sampler, config);
                         let done = start.elapsed().as_micros() as u64;
-                        latency.record(done - at_us);
+                        let sojourn = done - at_us;
+                        latency.record(sojourn);
                         errors += u64::from(failed);
+                        // Schedules stay inside the horizon, so the
+                        // window index is always in range.
+                        let w = &mut windows[(at_us / window_us) as usize];
+                        w.ops += 1;
+                        w.errors += u64::from(failed);
+                        w.late_ops += u64::from(late > 0);
+                        w.backlog_max = w.backlog_max.max(backlog);
+                        w.lateness_sum_us += late;
+                        w.lateness_max_us = w.lateness_max_us.max(late);
+                        w.sojourn_sum_us += sojourn;
+                        w.sojourn_max_us = w.sojourn_max_us.max(sojourn);
                     }
                     stack.tb.world.clock.flush_local();
                     OpenWorkerOut {
@@ -181,6 +272,7 @@ pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
                         lateness,
                         late_ops,
                         backlog_max,
+                        windows,
                     }
                 })
             })
@@ -209,6 +301,14 @@ pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
         lateness_us: HistogramStats::default(),
         late_ops: 0,
         backlog_max: 0,
+        window_ms,
+        windows: {
+            let mut windows = vec![OpenWindow::default(); n_windows];
+            for (i, w) in windows.iter_mut().enumerate() {
+                w.index = i as u64;
+            }
+            windows
+        },
     };
     for out in &outs {
         r.scheduled += out.scheduled;
@@ -218,6 +318,9 @@ pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
         r.backlog_max = r.backlog_max.max(out.backlog_max);
         latency.merge(&out.latency);
         lateness.merge(&out.lateness);
+        for (merged, w) in r.windows.iter_mut().zip(&out.windows) {
+            merged.merge(w);
+        }
     }
     r.latency_us = latency.stats();
     r.lateness_us = lateness.stats();
@@ -244,6 +347,72 @@ mod tests {
     fn zero_rate_schedules_nothing() {
         assert!(poisson_schedule(1, 0.0, 1_000).is_empty());
         assert!(poisson_schedule(1, -5.0, 1_000).is_empty());
+    }
+
+    #[test]
+    fn window_merge_is_exact() {
+        let a = OpenWindow {
+            index: 3,
+            ops: 10,
+            errors: 1,
+            late_ops: 4,
+            backlog_max: 2,
+            lateness_sum_us: 500,
+            lateness_max_us: 200,
+            sojourn_sum_us: 9_000,
+            sojourn_max_us: 4_000,
+        };
+        let b = OpenWindow {
+            index: 3,
+            ops: 5,
+            errors: 0,
+            late_ops: 5,
+            backlog_max: 7,
+            lateness_sum_us: 1_500,
+            lateness_max_us: 900,
+            sojourn_sum_us: 1_000,
+            sojourn_max_us: 350,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.ops, 15);
+        assert_eq!(merged.errors, 1);
+        assert_eq!(merged.late_ops, 9);
+        assert_eq!(merged.backlog_max, 7);
+        assert_eq!(merged.lateness_sum_us, 2_000);
+        assert_eq!(merged.lateness_max_us, 900);
+        assert_eq!(merged.sojourn_sum_us, 10_000);
+        assert_eq!(merged.sojourn_max_us, 4_000);
+        assert_eq!(merged.lateness_mean_us(), 2_000.0 / 15.0);
+    }
+
+    #[test]
+    fn windows_cover_every_scheduled_op_exactly_once() {
+        let config = LoadConfig {
+            open_threads: 2,
+            open_duration_ms: 120,
+            open_window_ms: 25,
+            ..LoadConfig::default()
+        };
+        let r = run_open(&config, 2_000.0);
+        assert_eq!(r.window_ms, 25);
+        assert_eq!(r.windows.len(), 5, "ceil(120 / 25) windows, empty included");
+        for (i, w) in r.windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64, "contiguous indices");
+            assert!(w.late_ops <= w.ops);
+            assert!(w.lateness_max_us <= w.lateness_sum_us || w.ops <= 1);
+        }
+        // The windows partition the scheduled horizon: totals reassemble.
+        assert_eq!(r.windows.iter().map(|w| w.ops).sum::<u64>(), r.ops);
+        assert_eq!(r.windows.iter().map(|w| w.errors).sum::<u64>(), r.errors);
+        assert_eq!(
+            r.windows.iter().map(|w| w.late_ops).sum::<u64>(),
+            r.late_ops
+        );
+        assert_eq!(
+            r.windows.iter().map(|w| w.backlog_max).max().unwrap_or(0),
+            r.backlog_max
+        );
     }
 
     proptest! {

@@ -58,11 +58,32 @@ fn run_json(r: &RunResult) -> String {
 }
 
 fn open_run_json(r: &OpenRunResult) -> String {
+    let windows: Vec<String> = r
+        .windows
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"index\": {}, \"ops\": {}, \"errors\": {}, \"late_ops\": {}, \
+                 \"backlog_max\": {}, \"lateness_mean_us\": {}, \"lateness_max_us\": {}, \
+                 \"sojourn_mean_us\": {}, \"sojourn_max_us\": {}}}",
+                w.index,
+                w.ops,
+                w.errors,
+                w.late_ops,
+                w.backlog_max,
+                json::number(w.lateness_mean_us()),
+                w.lateness_max_us,
+                json::number(w.sojourn_mean_us()),
+                w.sojourn_max_us,
+            )
+        })
+        .collect();
     format!(
         "{{\"offered_qps\": {}, \"threads\": {}, \"duration_ms\": {}, \
          \"scheduled\": {}, \"ops\": {}, \"errors\": {}, \"wall_secs\": {}, \
          \"achieved_qps\": {}, \"latency_us\": {}, \"lateness_us\": {}, \
-         \"late_ops\": {}, \"backlog_max\": {}}}",
+         \"late_ops\": {}, \"backlog_max\": {}, \"window_ms\": {}, \
+         \"windows\": [{}]}}",
         json::number(r.offered_qps),
         r.threads,
         r.duration_ms,
@@ -75,6 +96,8 @@ fn open_run_json(r: &OpenRunResult) -> String {
         stats_json(&r.lateness_us),
         r.late_ops,
         r.backlog_max,
+        r.window_ms,
+        windows.join(", "),
     )
 }
 
@@ -177,6 +200,34 @@ pub fn validate(text: &str) -> Result<(), String> {
                 return Err(format!("open run {i}: latency_us missing `{field}`"));
             }
         }
+        if run.get("window_ms").and_then(|w| w.as_u64()).is_none() {
+            return Err(format!("open run {i}: missing `window_ms`"));
+        }
+        let windows = run
+            .get("windows")
+            .and_then(|w| w.as_array())
+            .ok_or(format!("open run {i}: missing `windows` array"))?;
+        if windows.is_empty() {
+            return Err(format!("open run {i}: empty `windows` series"));
+        }
+        for (j, w) in windows.iter().enumerate() {
+            if w.get("index").and_then(|x| x.as_u64()) != Some(j as u64) {
+                return Err(format!(
+                    "open run {i}: window {j}: missing or non-contiguous `index`"
+                ));
+            }
+            for field in [
+                "ops",
+                "late_ops",
+                "backlog_max",
+                "lateness_mean_us",
+                "sojourn_mean_us",
+            ] {
+                if w.get(field).is_none() {
+                    return Err(format!("open run {i}: window {j}: missing `{field}`"));
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -227,7 +278,7 @@ pub fn check_regression(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loadgen::LoadConfig;
+    use crate::loadgen::{LoadConfig, OpenWindow};
 
     fn sample_run() -> RunResult {
         RunResult {
@@ -287,6 +338,20 @@ mod tests {
             },
             late_ops: 7_000,
             backlog_max: 3,
+            window_ms: 100,
+            windows: (0..5)
+                .map(|i| OpenWindow {
+                    index: i,
+                    ops: 5_000,
+                    errors: 0,
+                    late_ops: 1_400,
+                    backlog_max: if i == 4 { 3 } else { 1 },
+                    lateness_sum_us: 20_000,
+                    lateness_max_us: 300,
+                    sojourn_sum_us: 200_000,
+                    sojourn_max_us: 900,
+                })
+                .collect(),
         }
     }
 
@@ -339,6 +404,28 @@ mod tests {
             .and_then(|r| r.as_array())
             .expect("open_runs");
         assert_eq!(open[0].get("backlog_max").and_then(|b| b.as_u64()), Some(3));
+        let windows = open[0]
+            .get("windows")
+            .and_then(|w| w.as_array())
+            .expect("per-window series");
+        assert_eq!(windows.len(), 5);
+        assert_eq!(
+            windows[4].get("backlog_max").and_then(|b| b.as_u64()),
+            Some(3)
+        );
+        assert_eq!(
+            windows[0].get("lateness_mean_us").and_then(|m| m.as_f64()),
+            Some(4.0),
+            "20_000 µs of lateness over 5_000 ops"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_a_missing_window_series() {
+        let mut rep = sample_report();
+        rep.open_runs[0].windows.clear();
+        let err = validate(&rep.to_json()).expect_err("empty windows rejected");
+        assert!(err.contains("windows"), "{err}");
     }
 
     #[test]

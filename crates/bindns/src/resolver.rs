@@ -31,7 +31,7 @@ pub struct StdResolver {
     net: Arc<RpcNet>,
     host: HostId,
     server: HrpcBinding,
-    cache: TtlCache,
+    cache: Arc<TtlCache>,
     cache_hits: LazyCounter,
     queries: LazyCounter,
     query_us: LazyHistogram,
@@ -40,11 +40,24 @@ pub struct StdResolver {
 impl StdResolver {
     /// Creates a resolver on `host` pointed at a server's native binding.
     pub fn new(net: Arc<RpcNet>, host: HostId, server: HrpcBinding) -> Self {
+        let cache = Arc::new(TtlCache::new());
+        // Flush this cache's stats on every `World::export_all_caches`
+        // (sampler ticks, end-of-run snapshots). The `Weak` capture
+        // leaves dropped resolvers inert; with several resolvers on one
+        // world the last-registered live one wins, matching the
+        // last-writer-wins semantics of `set_counter` exports.
+        let weak = Arc::downgrade(&cache);
+        net.world()
+            .register_cache_exporter(Box::new(move |metrics| {
+                if let Some(cache) = weak.upgrade() {
+                    cache.export_metrics(metrics, "bindns_cache");
+                }
+            }));
         StdResolver {
             net,
             host,
             server,
-            cache: TtlCache::new(),
+            cache,
             cache_hits: LazyCounter::new(),
             queries: LazyCounter::new(),
             query_us: LazyHistogram::new(),

@@ -53,10 +53,10 @@ pub struct Hns {
     host: HostId,
     meta: MetaStore,
     meta_binding: HrpcBinding,
-    cache: HnsCache,
+    cache: Arc<HnsCache>,
     /// Composed `FindNSM` results (off by default; see
     /// [`crate::binding_cache`]).
-    binding_cache: BindingCache,
+    binding_cache: Arc<BindingCache>,
     /// Linked NSM registry. Read-mostly: linking happens at deployment,
     /// mapping 6 reads on every cold walk. Readers take an `Arc`
     /// snapshot; writers rebuild and swap.
@@ -136,13 +136,36 @@ impl Hns {
         cache_mode: CacheMode,
     ) -> Self {
         let resolver = HrpcResolver::new(Arc::clone(&net), host, meta_binding);
+        let cache = Arc::new(HnsCache::new(cache_mode));
+        let binding_cache = Arc::new(BindingCache::new());
+        // Snapshot-time stats flush through `World::export_all_caches`:
+        // `Weak` captures keep dropped instances (e.g. the short-lived
+        // registrar HNSes the harness builds) from re-publishing stale
+        // totals, and disabled caches stay silent so a Disabled
+        // instance sharing the world never clobbers a live one's rows
+        // with zeros.
+        let weak_cache = Arc::downgrade(&cache);
+        let weak_binding = Arc::downgrade(&binding_cache);
+        net.world()
+            .register_cache_exporter(Box::new(move |metrics| {
+                if let Some(cache) = weak_cache.upgrade() {
+                    if cache.mode() != CacheMode::Disabled {
+                        cache.export_metrics(metrics, "hns_cache");
+                    }
+                }
+                if let Some(binding_cache) = weak_binding.upgrade() {
+                    if binding_cache.enabled() {
+                        binding_cache.export_metrics(metrics, "hns_binding_cache");
+                    }
+                }
+            }));
         Hns {
             net,
             host,
             meta: MetaStore::new(resolver, origin),
             meta_binding,
-            cache: HnsCache::new(cache_mode),
-            binding_cache: BindingCache::new(),
+            cache,
+            binding_cache,
             linked_nsms: RwLock::new(Arc::new(HashMap::new())),
             batching: AtomicBool::new(false),
             handles: HnsMetricHandles::default(),
@@ -799,10 +822,16 @@ impl Hns {
     /// Publishes this instance's cache statistics into the world's
     /// metrics registry (component `hns_cache`, plus
     /// `hns_binding_cache` when the composed cache is enabled — gated so
-    /// default-configuration snapshots are unchanged).
+    /// default-configuration snapshots are unchanged). A Disabled cache
+    /// publishes nothing: several instances share one component, and a
+    /// disabled instance exporting zeros would clobber a live one's
+    /// rows (the same rule [`World::export_all_caches`] applies on
+    /// every sampler tick).
     pub fn export_metrics(&self) {
-        self.cache
-            .export_metrics(self.world().metrics(), "hns_cache");
+        if self.cache.mode() != CacheMode::Disabled {
+            self.cache
+                .export_metrics(self.world().metrics(), "hns_cache");
+        }
         if self.binding_cache.enabled() {
             self.binding_cache
                 .export_metrics(self.world().metrics(), "hns_binding_cache");

@@ -372,6 +372,20 @@ impl Testbed {
             NsmService::new(ch_nsm.clone()),
         );
 
+        // Flush the bind-backed NSM's result cache on every
+        // `World::export_all_caches` under the component name the traced
+        // experiment established (`nsm_cache`); a Disabled cache stays
+        // silent. The CH NSM's cache is not registered — one component,
+        // one instance, last-writer-wins.
+        if form != NsmCacheForm::Disabled {
+            let weak = Arc::downgrade(&bind_nsm);
+            self.world.register_cache_exporter(Box::new(move |metrics| {
+                if let Some(nsm) = weak.upgrade() {
+                    nsm.export_metrics(metrics, "nsm_cache");
+                }
+            }));
+        }
+
         let registrar = self.make_hns_unlinked(self.hosts.meta, CacheMode::Disabled);
         let host_name = self.world.topology.host_name(host).expect("host exists");
         registrar

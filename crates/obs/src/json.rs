@@ -95,6 +95,14 @@ impl Value {
         }
     }
 
+    /// The keys, in order, if this is an object; empty otherwise.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Value::Object(m) => m.keys().map(|k| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
     /// The boolean payload if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -19,15 +19,23 @@
 //!   and fixed-bucket [`Histogram`]s keyed by `(component, name)`, with
 //!   a deterministic [`MetricsSnapshot`] that renders as text or JSON.
 //!
+//! [`timeline`] layers windowed sampling on top of [`metrics`]: a
+//! [`Sampler`] differences successive registry captures at fixed window
+//! boundaries into a deterministic [`Timeline`] (counter deltas plus
+//! windowed histogram percentiles from bucketwise differences), with an
+//! ASCII-sparkline `render()` and an `hns-timeline-v1` JSON export.
+//!
 //! [`json`] is a minimal JSON writer/parser used for the exports (the
 //! workspace builds offline, so no serde).
 
 pub mod json;
 pub mod metrics;
+pub mod timeline;
 pub mod trace;
 
 pub use metrics::{
-    Counter, CounterSample, Histogram, HistogramSample, LazyCounter, LazyHistogram, LocalHistogram,
-    MetricsRegistry, MetricsSnapshot,
+    Counter, CounterDelta, CounterSample, Histogram, HistogramDelta, HistogramSample, LazyCounter,
+    LazyHistogram, LocalHistogram, MetricsDelta, MetricsRegistry, MetricsSnapshot,
 };
+pub use timeline::{Sampler, Timeline, TimelineMark, TimelineWindow, WindowHistogram};
 pub use trace::{CacheOutcome, QueryTrace, SpanId, SpanRecord, TraceEvent, TraceKind, Tracer};

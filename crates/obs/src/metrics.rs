@@ -40,7 +40,7 @@ fn bucket_of(v: u64) -> usize {
     }
 }
 
-fn bucket_upper(i: usize) -> u64 {
+pub(crate) fn bucket_upper(i: usize) -> u64 {
     if i < LINEAR_BUCKETS {
         i as u64
     } else {
@@ -269,6 +269,38 @@ impl Histogram {
             p99: self.percentile(0.99),
         }
     }
+
+    /// A copy of the raw per-bucket counts. The sampling layer diffs two
+    /// of these to compute *windowed* percentiles (the per-window
+    /// distribution is exactly the bucketwise difference, since buckets
+    /// only grow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The value at quantile `p` over a raw bucket-count slice (as returned
+/// by [`Histogram::bucket_counts`], or a bucketwise difference of two
+/// such slices): the upper bound of the bucket holding the sample of
+/// rank `ceil(p * count)`. Returns 0 when the buckets are empty.
+pub fn percentile_from_buckets(buckets: &[u64], p: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let target = ((p * count as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= target {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(buckets.len().saturating_sub(1))
 }
 
 /// A single-owner histogram with the exact bucket layout of
@@ -538,6 +570,21 @@ impl MetricsRegistry {
         self.counters.write().clear();
         self.histograms.write().clear();
     }
+
+    /// Raw per-bucket counts of every histogram, sorted by
+    /// `(component, name)` — the bucket-level companion of
+    /// [`MetricsRegistry::snapshot`], used by the sampling layer to
+    /// compute windowed percentiles from bucketwise differences.
+    pub fn histogram_buckets(&self) -> Vec<((String, String), Vec<u64>)> {
+        let mut out: Vec<((String, String), Vec<u64>)> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(key, h)| (key.clone(), h.bucket_counts()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 /// Point-in-time view of the whole registry, renderable as text or JSON.
@@ -548,6 +595,52 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// The componentwise difference `self - earlier`.
+    ///
+    /// Counters subtract saturating (a snapshot-time `set_counter`
+    /// export can legitimately move a value backwards; the delta clamps
+    /// at zero rather than wrapping). Histograms difference their
+    /// `count` and `sum`, also saturating. Metrics with a zero delta —
+    /// and metrics present only in `earlier` — are omitted, so the
+    /// delta of two identical snapshots is empty.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsDelta {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|c| {
+                let before = earlier.counter(&c.component, &c.name).unwrap_or(0);
+                let delta = c.value.saturating_sub(before);
+                (delta != 0).then(|| CounterDelta {
+                    component: c.component.clone(),
+                    name: c.name.clone(),
+                    delta,
+                })
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let before = earlier
+                    .histogram(&h.component, &h.name)
+                    .copied()
+                    .unwrap_or_default();
+                let count = h.stats.count.saturating_sub(before.count);
+                let sum = h.stats.sum.saturating_sub(before.sum);
+                (count != 0 || sum != 0).then(|| HistogramDelta {
+                    component: h.component.clone(),
+                    name: h.name.clone(),
+                    count,
+                    sum,
+                })
+            })
+            .collect();
+        MetricsDelta {
+            counters,
+            histograms,
+        }
+    }
+
     /// Looks up a counter's value by `component/name`.
     pub fn counter(&self, component: &str, name: &str) -> Option<u64> {
         self.counters
@@ -633,6 +726,72 @@ impl MetricsSnapshot {
         }
         out.push_str("\n  ]\n}");
         out
+    }
+}
+
+/// One counter's change between two snapshots (omitted when zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    pub component: String,
+    pub name: String,
+    /// `later - earlier`, saturating at zero.
+    pub delta: u64,
+}
+
+/// One histogram's change between two snapshots (omitted when both
+/// fields are zero). Carries only the additive statistics — windowed
+/// percentiles need bucket-level data, which snapshots don't keep (see
+/// [`MetricsRegistry::histogram_buckets`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramDelta {
+    pub component: String,
+    pub name: String,
+    /// Samples recorded between the snapshots.
+    pub count: u64,
+    /// Sum recorded between the snapshots.
+    pub sum: u64,
+}
+
+impl HistogramDelta {
+    /// Arithmetic mean of the samples in the delta (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The difference between two [`MetricsSnapshot`]s, as produced by
+/// [`MetricsSnapshot::delta`]. Entries keep snapshot order (sorted by
+/// `(component, name)`); zero-delta entries are omitted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsDelta {
+    pub counters: Vec<CounterDelta>,
+    pub histograms: Vec<HistogramDelta>,
+}
+
+impl MetricsDelta {
+    /// A counter's change, 0 if absent from the delta.
+    pub fn counter(&self, component: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.component == component && c.name == name)
+            .map(|c| c.delta)
+            .unwrap_or(0)
+    }
+
+    /// A histogram's change, if it recorded anything in the interval.
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&HistogramDelta> {
+        self.histograms
+            .iter()
+            .find(|h| h.component == component && h.name == name)
+    }
+
+    /// True when nothing changed between the snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
     }
 }
 
@@ -838,6 +997,75 @@ mod tests {
             m.snapshot().counter("net", "remote_calls"),
             Some(THREADS as u64 * PER_THREAD)
         );
+    }
+
+    /// Satellite: snapshot deltas carry counter differences and
+    /// histogram count/sum differences, omitting unchanged metrics.
+    #[test]
+    fn snapshot_delta_subtracts_and_omits_unchanged() {
+        let m = MetricsRegistry::new();
+        m.add("net", "remote_calls", 6);
+        m.add("net", "local_calls", 2);
+        m.record("hns", "find_nsm_us", 1_000);
+        let before = m.snapshot();
+        m.add("net", "remote_calls", 3);
+        m.record("hns", "find_nsm_us", 500);
+        m.record("hns", "find_nsm_us", 250);
+        m.inc("hns", "find_nsm_calls"); // new counter mid-interval
+        let after = m.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counter("net", "remote_calls"), 3);
+        assert_eq!(d.counter("hns", "find_nsm_calls"), 1);
+        // Unchanged counter is omitted entirely.
+        assert!(!d
+            .counters
+            .iter()
+            .any(|c| c.component == "net" && c.name == "local_calls"));
+        let h = d.histogram("hns", "find_nsm_us").expect("hist delta");
+        assert_eq!((h.count, h.sum), (2, 750));
+        assert!((h.mean() - 375.0).abs() < 1e-9);
+        // Identical snapshots produce an empty delta.
+        assert!(after.delta(&after).is_empty());
+    }
+
+    /// Satellite: a snapshot-time `set_counter` that moves a value
+    /// backwards clamps the delta at zero instead of wrapping.
+    #[test]
+    fn snapshot_delta_saturates_on_backwards_counters() {
+        let m = MetricsRegistry::new();
+        m.set_counter("hns_cache", "hits", 10);
+        let before = m.snapshot();
+        m.set_counter("hns_cache", "hits", 4);
+        let d = m.snapshot().delta(&before);
+        assert_eq!(d.counter("hns_cache", "hits"), 0);
+        assert!(d.is_empty());
+    }
+
+    /// Windowed percentiles from bucketwise differences match a
+    /// histogram recording only the window's samples.
+    #[test]
+    fn bucket_difference_percentiles_match_fresh_histogram() {
+        let h = Histogram::new();
+        for v in 0..500u64 {
+            h.record(v * 3);
+        }
+        let base = h.bucket_counts();
+        let fresh = Histogram::new();
+        for v in 500..1000u64 {
+            h.record(v * 7);
+            fresh.record(v * 7);
+        }
+        let now = h.bucket_counts();
+        let diff: Vec<u64> = now
+            .iter()
+            .zip(&base)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(percentile_from_buckets(&diff, p), fresh.percentile(p));
+        }
+        assert_eq!(percentile_from_buckets(&[], 0.5), 0);
+        assert_eq!(percentile_from_buckets(&[0, 0, 0], 0.99), 0);
     }
 
     mod prop {

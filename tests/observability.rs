@@ -123,6 +123,40 @@ fn metrics_registry_reflects_the_run() {
 }
 
 #[test]
+fn snapshot_delta_isolates_one_query_from_a_warm_run() {
+    let (tb, hns, name, qc) = testbed_with_hns(CacheMode::Demarshalled);
+    hns.set_batching(false);
+    hns.find_nsm(&qc, &name).expect("cold");
+    hns.export_metrics();
+    let before = tb.world.metrics().snapshot();
+
+    hns.find_nsm(&qc, &name).expect("warm");
+    hns.export_metrics();
+    let after = tb.world.metrics().snapshot();
+
+    let d = after.delta(&before);
+    assert_eq!(d.counter("hns", "find_nsm_calls"), 1);
+    assert_eq!(
+        d.counter("net", "remote_calls"),
+        0,
+        "warm query must not leave the client"
+    );
+    assert!(d.counter("hns_cache", "hits") >= 1);
+    let lat = d
+        .histograms
+        .iter()
+        .find(|h| h.component == "hns" && h.name == "find_nsm_us")
+        .expect("latency delta");
+    assert_eq!(lat.count, 1, "exactly one sample in the bracket");
+    // Zero-delta rows are dropped: the cold walk's mapping histograms
+    // saw no new samples and must be absent.
+    assert!(d
+        .histograms
+        .iter()
+        .all(|h| h.component != "hns_meta" || h.count > 0));
+}
+
+#[test]
 fn snapshot_json_parses_and_matches() {
     let (tb, hns, name, qc) = testbed_with_hns(CacheMode::Demarshalled);
     hns.find_nsm(&qc, &name).expect("query");
