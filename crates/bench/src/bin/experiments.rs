@@ -13,6 +13,8 @@
 //! experiments chaos --crash --partition --seed 42 --out chaos.json
 //! experiments chaos --seed 42 --validate-chaos   # validate the run's own JSON
 //! experiments chaos --timeline-out timeline.json # windowed hns-timeline-v1 export
+//! experiments register --names 12 --max-depth 8 --out register.json
+//! experiments loadgen --write-frac 0.3 --transfer-frac 0.25
 //! experiments validate FILE...    # auto-detect and validate any JSON export
 //! ```
 //!
@@ -41,10 +43,20 @@
 //! selection and writes its `hns-timeline-v1` export; `--timeline-window-ms`
 //! sets the window width.
 //!
+//! `register` is the write-heavy registration workload (E-R) over the
+//! `regd` frontend: ownership registration, transfer chains with
+//! collapse caching, replica staleness, and the partitioned write path.
+//! Knobs: `--names N --max-depth D --warm-resolves W
+//! --staleness-rounds R --seed N --out PATH`; the export schema is
+//! `hns-reg-v1`. The loadgen write mix rides the same frontend:
+//! `--write-frac F` sends that fraction of loadgen operations through
+//! `regd` (re-binds and transfers), and `--transfer-frac F` picks how
+//! many of those writes are ownership transfers.
+//!
 //! `validate FILE...` parses each file, auto-detects its schema from the
 //! `schema` tag (`hns-trace-v1`, `hns-load-v2`, `hns-chaos-v1`,
-//! `hns-timeline-v1`), and runs the matching validator, exiting 1 on the
-//! first malformed file. The older `--validate-trace` / `--validate-load`
+//! `hns-timeline-v1`, `hns-reg-v1`), and runs the matching validator,
+//! exiting 1 on the first malformed file. The older `--validate-trace` / `--validate-load`
 //! / `--validate-chaos FILE` flags are thin aliases that additionally pin
 //! the expected schema.
 
@@ -155,6 +167,7 @@ fn validate_any(path: &str, expected: Option<&str>) -> Result<String, String> {
         "hns-load-v2" => loadgen::report::validate(&text),
         "hns-chaos-v1" => exp::chaos::validate(&text),
         "hns-timeline-v1" => exp::timeline::validate(&text),
+        "hns-reg-v1" => exp::register::validate(&text),
         other => Err(format!("unknown schema `{other}`")),
     };
     result.map_err(|e| format!("{path}: {e}"))?;
@@ -189,6 +202,8 @@ fn main() {
     // `None` until a selector flag appears; no selector means all faults.
     let mut chaos_faults: Option<(bool, bool, bool)> = None;
     let mut chaos_seed: u64 = exp::chaos::ChaosConfig::default().seed;
+    let mut register = false;
+    let mut register_config = exp::register::RegisterConfig::default();
     let mut chaos_validate_inline = false;
     let mut timeline_out: Option<String> = None;
     let mut timeline_window_ms: u64 = exp::timeline::DEFAULT_WINDOW_MS;
@@ -202,6 +217,7 @@ fn main() {
             "--trace" => trace = true,
             "loadgen" => load = true,
             "chaos" => chaos = true,
+            "register" => register = true,
             "validate" => validate_cmd = true,
             "--crash" => chaos_faults.get_or_insert((false, false, false)).0 = true,
             "--partition" => chaos_faults.get_or_insert((false, false, false)).1 = true,
@@ -276,10 +292,40 @@ fn main() {
             "--zipf" => load_config.zipf_s = parse_or_die("--zipf", it.next()),
             "--cold" => load_config.cold_frac = parse_or_die("--cold", it.next()),
             "--bind" => load_config.bind_frac = parse_or_die("--bind", it.next()),
+            "--names" => {
+                register_config.names = parse_or_die("--names", it.next());
+                if register_config.names == 0 {
+                    eprintln!("error: --names must be positive");
+                    std::process::exit(1);
+                }
+            }
+            "--max-depth" => register_config.max_depth = parse_or_die("--max-depth", it.next()),
+            "--warm-resolves" => {
+                register_config.warm_resolves = parse_or_die("--warm-resolves", it.next())
+            }
+            "--staleness-rounds" => {
+                register_config.staleness_rounds = parse_or_die("--staleness-rounds", it.next())
+            }
+            "--write-frac" => {
+                load_config.write_frac = parse_or_die("--write-frac", it.next());
+                if !(0.0..=1.0).contains(&load_config.write_frac) {
+                    eprintln!("error: --write-frac must be within [0, 1]");
+                    std::process::exit(1);
+                }
+            }
+            "--transfer-frac" => {
+                load_config.transfer_frac = parse_or_die("--transfer-frac", it.next());
+                if !(0.0..=1.0).contains(&load_config.transfer_frac) {
+                    eprintln!("error: --transfer-frac must be within [0, 1]");
+                    std::process::exit(1);
+                }
+            }
             "--seed" => {
-                // Shared by loadgen (workload RNG) and chaos (window jitter).
+                // Shared by loadgen (workload RNG), chaos (window
+                // jitter), and register (depths and gaps).
                 load_config.seed = parse_or_die("--seed", it.next());
                 chaos_seed = load_config.seed;
+                register_config.seed = load_config.seed;
             }
             "--out" => out = Some(parse_or_die("--out", it.next())),
             "--validate-load" => validations.push((
@@ -326,7 +372,7 @@ fn main() {
         std::process::exit(i32::from(failed));
     }
 
-    let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos) {
+    let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos || register) {
         Vec::new()
     } else if ids.is_empty() || ids.contains(&"all") {
         ALL.to_vec()
@@ -417,6 +463,24 @@ fn main() {
                 failed = true;
             } else {
                 println!("timeline JSON written to {path}");
+            }
+        }
+    }
+    if register {
+        println!("=== experiment: register ===");
+        let run = exp::register::run(&register_config);
+        println!("{}", run.render());
+        let json = run.to_json();
+        if let Err(err) = exp::register::validate(&json) {
+            eprintln!("error: register export invalid: {err}");
+            failed = true;
+        }
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: write {path}: {e}");
+                failed = true;
+            } else {
+                println!("register JSON written to {path}");
             }
         }
     }

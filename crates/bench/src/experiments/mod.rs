@@ -13,6 +13,7 @@ pub mod hit_ratios;
 pub mod mappings;
 pub mod overhead;
 pub mod preload;
+pub mod register;
 pub mod scalability;
 pub mod table31;
 pub mod table32;

@@ -33,6 +33,13 @@
 //! HNS (the full meta-walk-every-time path), or a full HRPC **bind**
 //! (`Import` = `FindNSM` + a binding-NSM call).
 //!
+//! With `--write-frac` above zero the mix also drives the `regd`
+//! registration frontend (E-R's write path): that fraction of
+//! operations becomes Clearinghouse writes — ownership **transfers**
+//! (`--transfer-frac` of the writes, each appending a signed chain
+//! link, with a release + re-register reset before the owner pool
+//! would force a cycle rejection) and re-bind **updates** (the rest).
+//!
 //! # Closed vs. open loop
 //!
 //! Closed-loop runs issue the next operation the moment the previous
@@ -69,6 +76,9 @@ use nsms::harness::{
 };
 use nsms::import::Importer;
 use nsms::nsm_cache::NsmCacheForm;
+use parking_lot::Mutex;
+use regd::harness::{owner_key, owner_name};
+use regd::Registry;
 use simnet::rng::DetRng;
 
 use crate::cells::PlainTable;
@@ -78,6 +88,14 @@ use zipf::ZipfSampler;
 /// Distinct departmental contexts in the universe (same shape as the
 /// hit-ratio experiment: even ranks BIND-backed, odd Clearinghouse).
 const CONTEXTS: usize = 12;
+
+/// Names the write mix operates on, per worker.
+const WRITE_NAMES: usize = 8;
+
+/// Owner pool backing the write mix. Transfers step through the pool in
+/// order and reset (release + re-register) before any revisit, so the
+/// chain never trips the cycle rule.
+const WRITE_OWNERS: usize = 12;
 
 /// Load engine configuration (the `experiments -- loadgen` knobs).
 #[derive(Debug, Clone)]
@@ -95,6 +113,12 @@ pub struct LoadConfig {
     pub cold_frac: f64,
     /// Fraction of `hrpc_binding` operations that run a full `Import`.
     pub bind_frac: f64,
+    /// Fraction of operations sent through the `regd` write path
+    /// (0 disables the write mix entirely).
+    pub write_frac: f64,
+    /// Of the write operations, the fraction that are ownership
+    /// transfers; the rest are re-bind updates.
+    pub transfer_frac: f64,
     /// Workload RNG seed.
     pub seed: u64,
     /// Crash the meta server for the whole measured run: cold operations
@@ -122,6 +146,8 @@ impl Default for LoadConfig {
             zipf_s: 1.0,
             cold_frac: 0.05,
             bind_frac: 0.30,
+            write_frac: 0.0,
+            transfer_frac: 0.25,
             seed: 1987,
             faults: false,
             offered_qps: Vec::new(),
@@ -147,6 +173,10 @@ pub struct RunResult {
     pub cold_ops: u64,
     /// Full `Import` operations.
     pub bind_ops: u64,
+    /// `regd` write operations (re-bind updates plus transfers).
+    pub write_ops: u64,
+    /// Ownership transfers (a subset of `write_ops`).
+    pub transfer_ops: u64,
     /// Wall-clock seconds from barrier release to last worker done.
     pub wall_secs: f64,
     /// Operations per wall-clock second.
@@ -210,6 +240,67 @@ struct WorkerStack {
     cold: Arc<Hns>,
     importer: Importer,
     ops: Vec<Op>,
+    /// Present only when the configured mix has writes.
+    write: Option<WriteState>,
+}
+
+/// The worker's private slice of the `regd` write path: a registration
+/// frontend over the shard's Clearinghouse plus the per-name holder
+/// positions the transfer traffic advances.
+struct WriteState {
+    reg: Registry,
+    names: Vec<String>,
+    /// Current holder index (into the owner pool) per name. One thread
+    /// owns each stack; the lock only satisfies the scoped-thread
+    /// borrow, it is never contended.
+    holders: Mutex<Vec<usize>>,
+}
+
+impl WriteState {
+    /// Executes one write operation; returns (kind, failed) with kind
+    /// indexing write=3 / transfer=4.
+    fn run_write(&self, rng: &mut DetRng, config: &LoadConfig) -> (u8, bool) {
+        let ni = rng.next_below(self.names.len() as u64) as usize;
+        let name = &self.names[ni];
+        let mut holders = self.holders.lock();
+        let h = holders[ni];
+        if rng.chance(config.transfer_frac) {
+            let failed = if h + 1 < WRITE_OWNERS {
+                let failed = self
+                    .reg
+                    .transfer(&owner_name(h), owner_key(h), name, &owner_name(h + 1), None)
+                    .is_err();
+                if !failed {
+                    holders[ni] = h + 1;
+                }
+                failed
+            } else {
+                // The pool is exhausted: release and re-register, which
+                // starts a fresh chain epoch the cycle rule accepts.
+                let failed = self
+                    .reg
+                    .release(&owner_name(h), owner_key(h), name)
+                    .is_err()
+                    || self
+                        .reg
+                        .register(&owner_name(0), owner_key(0), name, NS_BIND)
+                        .is_err();
+                if !failed {
+                    holders[ni] = 0;
+                }
+                failed
+            };
+            (4, failed)
+        } else {
+            let service = if rng.chance(0.5) { NS_CH } else { NS_BIND };
+            (
+                3,
+                self.reg
+                    .update(&owner_name(h), owner_key(h), name, service)
+                    .is_err(),
+            )
+        }
+    }
 }
 
 /// What one worker hands back after its run.
@@ -219,6 +310,8 @@ struct WorkerOut {
     warm_ops: u64,
     cold_ops: u64,
     bind_ops: u64,
+    write_ops: u64,
+    transfer_ops: u64,
     latency: LocalHistogram,
     hns_hits: u64,
     hns_misses: u64,
@@ -226,7 +319,7 @@ struct WorkerOut {
     binding: BindingCacheStats,
 }
 
-fn build_worker_stack() -> WorkerStack {
+fn build_worker_stack(config: &LoadConfig) -> WorkerStack {
     let tb = Testbed::build();
     tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Demarshalled);
     tb.deploy_extension_nsms(tb.hosts.nsm);
@@ -293,23 +386,48 @@ fn build_worker_stack() -> WorkerStack {
         }
     }
 
+    let write = (config.write_frac > 0.0).then(|| {
+        let reg = Registry::new(
+            Arc::clone(&tb.net),
+            tb.hosts.client,
+            tb.ch.binding,
+            tb.creds.clone(),
+            "cs",
+            "uw",
+        );
+        for i in 0..WRITE_OWNERS {
+            reg.register_owner(owner_name(i), owner_key(i));
+        }
+        let names: Vec<String> = (0..WRITE_NAMES).map(|i| format!("wsvc{i}")).collect();
+        for name in &names {
+            reg.register(&owner_name(0), owner_key(0), name, NS_BIND)
+                .expect("register write name");
+        }
+        WriteState {
+            reg,
+            names,
+            holders: Mutex::new(vec![0; WRITE_NAMES]),
+        }
+    });
+
     WorkerStack {
         tb,
         warm,
         cold,
         importer,
         ops,
+        write,
     }
 }
 
 /// Builds one private stack per worker, optionally crashing each
 /// shard's meta server, and switches each world to batched charging for
 /// the measured run.
-fn build_shards(threads: usize, faults: bool) -> Vec<WorkerStack> {
+fn build_shards(threads: usize, config: &LoadConfig) -> Vec<WorkerStack> {
     (0..threads)
         .map(|_| {
-            let stack = build_worker_stack();
-            if faults {
+            let stack = build_worker_stack(config);
+            if config.faults {
                 // Crash the meta server for the whole measured run (the
                 // caches are already warm). Cold operations walk into
                 // the crash and fail fast; warm and bind traffic keeps
@@ -327,8 +445,13 @@ fn build_shards(threads: usize, faults: bool) -> Vec<WorkerStack> {
 
 impl WorkerStack {
     /// Executes one drawn operation; returns (kind, failed) where kind
-    /// indexes warm=0 / cold=1 / bind=2.
+    /// indexes warm=0 / cold=1 / bind=2 / write=3 / transfer=4.
     fn run_op(&self, rng: &mut DetRng, sampler: &ZipfSampler, config: &LoadConfig) -> (u8, bool) {
+        if let Some(write) = &self.write {
+            if rng.chance(config.write_frac) {
+                return write.run_write(rng, config);
+            }
+        }
         let op = &self.ops[sampler.sample(rng)];
         let cold = rng.chance(config.cold_frac);
         let bind = !cold && op.bind.is_some() && rng.chance(config.bind_frac);
@@ -352,7 +475,7 @@ impl WorkerStack {
 /// Runs one closed-loop thread count, one private stack per worker.
 fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
     let sampler = ZipfSampler::new(CONTEXTS * 3, config.zipf_s);
-    let stacks = build_shards(threads, config.faults);
+    let stacks = build_shards(threads, config);
     let barrier = Barrier::new(threads + 1);
     let mut master = DetRng::new(config.seed ^ ((threads as u64) << 32));
     let ops_per_thread = config.ops_per_thread;
@@ -378,7 +501,7 @@ fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
                     barrier.wait();
                     let deadline = duration_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
                     let mut latency = LocalHistogram::new();
-                    let mut counts = [0u64; 3];
+                    let mut counts = [0u64; 5];
                     let mut errors = 0u64;
                     for _ in 0..ops_per_thread {
                         if let Some(deadline) = deadline {
@@ -402,6 +525,8 @@ fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
                         warm_ops: counts[0],
                         cold_ops: counts[1],
                         bind_ops: counts[2],
+                        write_ops: counts[3] + counts[4],
+                        transfer_ops: counts[4],
                         latency,
                         hns_hits: warm1.0 - warm0.0,
                         hns_misses: warm1.1 - warm0.1,
@@ -428,6 +553,8 @@ fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
         warm_ops: 0,
         cold_ops: 0,
         bind_ops: 0,
+        write_ops: 0,
+        transfer_ops: 0,
         wall_secs,
         qps: 0.0,
         latency_us: HistogramStats::default(),
@@ -444,6 +571,8 @@ fn run_once(config: &LoadConfig, threads: usize) -> RunResult {
         r.warm_ops += out.warm_ops;
         r.cold_ops += out.cold_ops;
         r.bind_ops += out.bind_ops;
+        r.write_ops += out.write_ops;
+        r.transfer_ops += out.transfer_ops;
         r.hns_hits += out.hns_hits;
         r.hns_misses += out.hns_misses;
         r.hns_expired += out.hns_expired;
@@ -491,16 +620,26 @@ impl LoadReport {
             format!(
                 "E-L — sharded load engine: closed-loop FindNSM + bind \
                  traffic, Zipf(s={}) over {} pairs, {:.0}% cold / {:.0}% bind, \
-                 {} ops/thread ({} cores)",
+                 {:.0}% write, {} ops/thread ({} cores)",
                 self.config.zipf_s,
                 CONTEXTS * 3,
                 self.config.cold_frac * 100.0,
                 self.config.bind_frac * 100.0,
+                self.config.write_frac * 100.0,
                 self.config.ops_per_thread,
                 self.cores
             ),
             vec![
-                "threads", "ops", "errors", "wall (s)", "QPS", "p50 (us)", "p95 (us)", "p99 (us)",
+                "threads",
+                "ops",
+                "errors",
+                "writes",
+                "transfers",
+                "wall (s)",
+                "QPS",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
             ],
         );
         for r in &self.runs {
@@ -508,6 +647,8 @@ impl LoadReport {
                 r.threads.to_string(),
                 r.ops.to_string(),
                 r.errors.to_string(),
+                r.write_ops.to_string(),
+                r.transfer_ops.to_string(),
                 format!("{:.3}", r.wall_secs),
                 format!("{:.0}", r.qps),
                 r.latency_us.p50.to_string(),
@@ -592,7 +733,8 @@ mod tests {
         assert_eq!(r.threads, 2);
         assert_eq!(r.ops, 300, "closed loop completes every op");
         assert_eq!(r.errors, 0, "no operation fails on the testbed");
-        assert_eq!(r.warm_ops + r.cold_ops + r.bind_ops, r.ops);
+        assert_eq!(r.warm_ops + r.cold_ops + r.bind_ops + r.write_ops, r.ops);
+        assert_eq!(r.write_ops, 0, "write mix is off by default");
         assert_eq!(
             r.latency_us.count, r.ops,
             "merged worker histograms account for every op"
@@ -626,6 +768,28 @@ mod tests {
         assert!(r.cold_ops > 0, "the mix must exercise the cold path");
         assert!(r.warm_ops > 0);
         report::validate(&rep.to_json()).expect("export validates");
+    }
+
+    #[test]
+    fn write_mix_drives_the_registration_frontend() {
+        let config = LoadConfig {
+            threads: vec![2],
+            ops_per_thread: 200,
+            write_frac: 0.4,
+            transfer_frac: 0.5,
+            ..LoadConfig::default()
+        };
+        let rep = run(&config);
+        let r = &rep.runs[0];
+        assert_eq!(r.ops, 400);
+        assert_eq!(r.errors, 0, "no write fails on the healthy testbed");
+        assert_eq!(r.warm_ops + r.cold_ops + r.bind_ops + r.write_ops, r.ops);
+        assert!(r.write_ops > 0, "the mix must exercise the write path");
+        assert!(r.transfer_ops > 0, "the mix must exercise transfers");
+        assert!(r.transfer_ops < r.write_ops, "updates ride along too");
+        report::validate(&rep.to_json()).expect("export validates");
+        let rendered = rep.render();
+        assert!(rendered.contains("transfers"), "{rendered}");
     }
 
     #[test]

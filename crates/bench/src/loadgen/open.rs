@@ -186,7 +186,7 @@ pub fn run_open(config: &LoadConfig, offered_qps: f64) -> OpenRunResult {
         .div_ceil(window_us as usize)
         .max(1);
     let sampler = ZipfSampler::new(CONTEXTS * 3, config.zipf_s);
-    let stacks = build_shards(threads, config.faults);
+    let stacks = build_shards(threads, config);
     let schedules: Vec<Vec<u64>> = (0..threads)
         .map(|w| {
             poisson_schedule(

@@ -35,6 +35,7 @@ fn run_json(r: &RunResult) -> String {
     format!(
         "{{\"threads\": {}, \"ops\": {}, \"errors\": {}, \"wall_secs\": {}, \
          \"qps\": {}, \"warm_ops\": {}, \"cold_ops\": {}, \"bind_ops\": {}, \
+         \"write_ops\": {}, \"transfer_ops\": {}, \
          \"latency_us\": {}, \
          \"hns_cache\": {{\"hits\": {}, \"misses\": {}, \"expired\": {}, \"cold_walks\": {}}}, \
          \"binding_cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}}}}}",
@@ -46,6 +47,8 @@ fn run_json(r: &RunResult) -> String {
         r.warm_ops,
         r.cold_ops,
         r.bind_ops,
+        r.write_ops,
+        r.transfer_ops,
         stats_json(&r.latency_us),
         r.hns_hits,
         r.hns_misses,
@@ -116,7 +119,8 @@ pub fn to_json(report: &LoadReport) -> String {
          \"host\": {{\"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \
          \"config\": {{\"dispatch\": \"sharded\", \"ops_per_thread\": {}, \
          \"duration_ms\": {}, \"zipf_s\": {}, \"cold_frac\": {}, \
-         \"bind_frac\": {}, \"seed\": {}, \"faults\": {}, \
+         \"bind_frac\": {}, \"write_frac\": {}, \"transfer_frac\": {}, \
+         \"seed\": {}, \"faults\": {}, \
          \"offered_qps\": [{}], \"open_threads\": {}, \"open_duration_ms\": {}}},\n  \
          \"closed_runs\": [\n    {}\n  ],\n  \
          \"open_runs\": [\n    {}\n  ]\n}}\n",
@@ -130,6 +134,8 @@ pub fn to_json(report: &LoadReport) -> String {
         json::number(config.zipf_s),
         json::number(config.cold_frac),
         json::number(config.bind_frac),
+        json::number(config.write_frac),
+        json::number(config.transfer_frac),
         config.seed,
         config.faults,
         offered.join(", "),
@@ -166,7 +172,15 @@ pub fn validate(text: &str) -> Result<(), String> {
         return Err("no runs in export".into());
     }
     for (i, run) in closed.iter().enumerate() {
-        for field in ["threads", "ops", "qps", "hns_cache", "binding_cache"] {
+        for field in [
+            "threads",
+            "ops",
+            "qps",
+            "write_ops",
+            "transfer_ops",
+            "hns_cache",
+            "binding_cache",
+        ] {
             if run.get(field).is_none() {
                 return Err(format!("closed run {i}: missing `{field}`"));
             }
@@ -285,9 +299,11 @@ mod tests {
             threads: 2,
             ops: 1000,
             errors: 0,
-            warm_ops: 900,
+            warm_ops: 880,
             cold_ops: 50,
             bind_ops: 50,
+            write_ops: 20,
+            transfer_ops: 5,
             wall_secs: 0.5,
             qps: 2000.0,
             latency_us: HistogramStats {
@@ -398,6 +414,14 @@ mod tests {
                 .and_then(|c| c.get("hits"))
                 .and_then(|h| h.as_u64()),
             Some(850)
+        );
+        assert_eq!(
+            closed[0].get("write_ops").and_then(|w| w.as_u64()),
+            Some(20)
+        );
+        assert_eq!(
+            closed[0].get("transfer_ops").and_then(|t| t.as_u64()),
+            Some(5)
         );
         let open = v
             .get("open_runs")

@@ -287,9 +287,10 @@ mod tests {
 mod failover_tests {
     use super::*;
     use crate::db::ChDb;
-    use crate::property::PROP_ADDRESS;
+    use crate::property::{PROP_ADDRESS, PROP_MEMBERS};
     use crate::replication::ChCluster;
     use crate::server::{deploy, ChServer};
+    use hrpc::RpcError;
     use simnet::faults::FaultPlan;
     use simnet::world::World;
 
@@ -298,6 +299,7 @@ mod failover_tests {
         cluster: ChCluster,
         client: ChClient,
         replica_binding: HrpcBinding,
+        client_host: HostId,
         primary_host: HostId,
         name: ThreePartName,
     }
@@ -340,6 +342,7 @@ mod failover_tests {
             cluster,
             client,
             replica_binding: rdep.binding,
+            client_host,
             primary_host,
             name,
         }
@@ -348,6 +351,15 @@ mod failover_tests {
     fn crash_primary(env: &Env) {
         let mut plan = FaultPlan::new();
         plan.crash(env.primary_host, env.world.now(), None);
+        env.world.set_faults(Some(plan));
+    }
+
+    /// Cuts the link between the client and the primary only: the
+    /// primary is alive (other hosts still reach it) but this client
+    /// cannot, which is the partition regime rather than a crash.
+    fn partition_primary(env: &Env) {
+        let mut plan = FaultPlan::new();
+        plan.partition(env.client_host, env.primary_host, env.world.now(), None);
         env.world.set_faults(Some(plan));
     }
 
@@ -389,6 +401,91 @@ mod failover_tests {
         );
         let snap = env.world.metrics().snapshot();
         assert_eq!(snap.counter("faults", "ch_read_failovers"), Some(1));
+    }
+
+    #[test]
+    fn group_and_list_reads_fail_over_to_a_replica() {
+        let mut env = env();
+        env.client
+            .add_member(&env.name, PROP_MEMBERS, "alice:cs:uw")
+            .expect("write to primary");
+        env.cluster.propagate();
+        crash_primary(&env);
+        env.client.set_read_fallbacks(vec![env.replica_binding]);
+
+        // Both structured read shapes ride the same failover path as
+        // item lookups: the group read and the enumeration are answered
+        // by the replica.
+        assert!(env
+            .client
+            .lookup_group(&env.name, PROP_MEMBERS)
+            .expect("group served by replica")
+            .contains("alice:cs:uw"));
+        assert_eq!(
+            env.client
+                .list("cs", "uw", "fiji*")
+                .expect("list served by replica"),
+            vec![env.name.clone()]
+        );
+        let snap = env.world.metrics().snapshot();
+        assert_eq!(snap.counter("faults", "ch_read_failovers"), Some(2));
+    }
+
+    #[test]
+    fn a_partitioned_primary_fails_writes_but_serves_reads_from_a_replica() {
+        // The partition regime, not a crash: the primary is alive but
+        // unreachable from this client. Every read shape keeps
+        // answering via the replica while every write surfaces
+        // `RpcError::HostUnreachable` — degraded, never silently lost.
+        let mut env = env();
+        env.client
+            .add_member(&env.name, PROP_MEMBERS, "alice:cs:uw")
+            .expect("write to primary");
+        env.cluster.propagate();
+        partition_primary(&env);
+        env.client.set_read_fallbacks(vec![env.replica_binding]);
+
+        assert_eq!(
+            env.client
+                .lookup_item(&env.name, PROP_ADDRESS)
+                .expect("item read served by replica"),
+            Value::U32(5)
+        );
+        assert!(env
+            .client
+            .lookup_group(&env.name, PROP_MEMBERS)
+            .expect("group read served by replica")
+            .contains("alice:cs:uw"));
+        assert_eq!(
+            env.client
+                .list("cs", "uw", "*")
+                .expect("list served by replica"),
+            vec![env.name.clone()]
+        );
+
+        for (what, result) in [
+            (
+                "set_item",
+                env.client.set_item(&env.name, PROP_ADDRESS, Value::U32(6)),
+            ),
+            (
+                "add_member",
+                env.client.add_member(&env.name, PROP_MEMBERS, "bob:cs:uw"),
+            ),
+            ("delete", env.client.delete(&env.name)),
+        ] {
+            let err = result.expect_err(what);
+            assert!(
+                matches!(err, RpcError::HostUnreachable { .. }),
+                "{what}: writes surface typed unreachability, got {err}"
+            );
+        }
+
+        // Healed: the write path works again.
+        env.world.set_faults(None);
+        env.client
+            .set_item(&env.name, PROP_ADDRESS, Value::U32(6))
+            .expect("write after heal");
     }
 
     #[test]

@@ -12,5 +12,6 @@ pub use hns_bench;
 pub use hns_core;
 pub use hrpc;
 pub use nsms;
+pub use regd;
 pub use simnet;
 pub use wire;
