@@ -16,7 +16,7 @@ fn entry(rrs: usize) -> Value {
 }
 
 fn key() -> MetaKey {
-    MetaKey::HostAddr("BIND".into(), "fiji".into())
+    MetaKey::host_addr("BIND", "fiji")
 }
 
 fn bench_cache(c: &mut Criterion) {

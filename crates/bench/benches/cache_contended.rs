@@ -63,9 +63,9 @@ const KEYS_PER_THREAD: usize = 8;
 const HITS_PER_THREAD: usize = 2_000;
 
 fn hot_key(thread: usize, i: usize) -> MetaKey {
-    MetaKey::HostAddr(
-        format!("ns-{thread}"),
-        format!("host-{}", i % KEYS_PER_THREAD),
+    MetaKey::host_addr(
+        &format!("ns-{thread}"),
+        &format!("host-{}", i % KEYS_PER_THREAD),
     )
 }
 
@@ -161,14 +161,13 @@ fn bench_singleflight_collapse(c: &mut Criterion) {
                         let cache = Arc::new(HnsCache::new(CacheMode::Demarshalled));
                         let fetches = Arc::new(AtomicU64::new(0));
                         let barrier = Arc::new(Barrier::new(threads));
-                        let key = MetaKey::HostAddr("ns".into(), format!("cold-{round}"));
+                        let key = MetaKey::host_addr("ns", &format!("cold-{round}"));
                         let start = Instant::now();
                         std::thread::scope(|scope| {
                             for _ in 0..threads {
                                 let cache = Arc::clone(&cache);
                                 let fetches = Arc::clone(&fetches);
                                 let barrier = Arc::clone(&barrier);
-                                let key = key.clone();
                                 let world = &world;
                                 scope.spawn(move || {
                                     barrier.wait();
@@ -183,13 +182,7 @@ fn bench_singleflight_collapse(c: &mut Criterion) {
                                             FetchTicket::Leader(_guard) => {
                                                 fetches.fetch_add(1, Ordering::SeqCst);
                                                 std::thread::sleep(FETCH_COST);
-                                                cache.insert(
-                                                    world,
-                                                    key.clone(),
-                                                    &payload(),
-                                                    4,
-                                                    600,
-                                                );
+                                                cache.insert(world, key, &payload(), 4, 600);
                                                 return;
                                             }
                                             FetchTicket::Coalesced => continue,

@@ -15,6 +15,7 @@
 //! experiments chaos --timeline-out timeline.json # windowed hns-timeline-v1 export
 //! experiments register --names 12 --max-depth 8 --out register.json
 //! experiments loadgen --write-frac 0.3 --transfer-frac 0.25
+//! experiments scale --scale-names 10000,100000,1000000 --out BENCH_scale.json
 //! experiments validate FILE...    # auto-detect and validate any JSON export
 //! ```
 //!
@@ -53,9 +54,17 @@
 //! `regd` (re-binds and transfers), and `--transfer-frac F` picks how
 //! many of those writes are ownership transfers.
 //!
+//! `scale` is the million-name scale-out sweep (E-S): cell-sharded
+//! worlds at each `--scale-names` count (default `10000,100000,1000000`),
+//! reporting virtual-time QPS through the delegation tree, resident
+//! bytes per name against the naive per-copy baseline, the resolver
+//! cache hit ratio, and full-vs-incremental preload bytes. Knobs:
+//! `--scale-names a,b,c --scale-queries N --scale-updates K --seed N
+//! --out PATH`; the export schema is `hns-scale-v1`.
+//!
 //! `validate FILE...` parses each file, auto-detects its schema from the
 //! `schema` tag (`hns-trace-v1`, `hns-load-v2`, `hns-chaos-v1`,
-//! `hns-timeline-v1`, `hns-reg-v1`), and runs the matching validator,
+//! `hns-timeline-v1`, `hns-reg-v1`, `hns-scale-v1`), and runs the matching validator,
 //! exiting 1 on the first malformed file. The older `--validate-trace` / `--validate-load`
 //! / `--validate-chaos FILE` flags are thin aliases that additionally pin
 //! the expected schema.
@@ -168,6 +177,7 @@ fn validate_any(path: &str, expected: Option<&str>) -> Result<String, String> {
         "hns-chaos-v1" => exp::chaos::validate(&text),
         "hns-timeline-v1" => exp::timeline::validate(&text),
         "hns-reg-v1" => exp::register::validate(&text),
+        "hns-scale-v1" => exp::scale::validate(&text),
         other => Err(format!("unknown schema `{other}`")),
     };
     result.map_err(|e| format!("{path}: {e}"))?;
@@ -204,6 +214,8 @@ fn main() {
     let mut chaos_seed: u64 = exp::chaos::ChaosConfig::default().seed;
     let mut register = false;
     let mut register_config = exp::register::RegisterConfig::default();
+    let mut scale = false;
+    let mut scale_config = exp::scale::ScaleConfig::default();
     let mut chaos_validate_inline = false;
     let mut timeline_out: Option<String> = None;
     let mut timeline_window_ms: u64 = exp::timeline::DEFAULT_WINDOW_MS;
@@ -218,7 +230,35 @@ fn main() {
             "loadgen" => load = true,
             "chaos" => chaos = true,
             "register" => register = true,
+            "scale" => scale = true,
             "validate" => validate_cmd = true,
+            "--scale-names" => {
+                let csv: String = parse_or_die("--scale-names", it.next());
+                scale_config.names = csv
+                    .split(',')
+                    .map(|n| match n.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("error: --scale-names: cannot parse `{csv}`");
+                            std::process::exit(1);
+                        }
+                    })
+                    .collect();
+            }
+            "--scale-queries" => {
+                scale_config.queries = parse_or_die("--scale-queries", it.next());
+                if scale_config.queries == 0 {
+                    eprintln!("error: --scale-queries must be positive");
+                    std::process::exit(1);
+                }
+            }
+            "--scale-updates" => {
+                scale_config.updates = parse_or_die("--scale-updates", it.next());
+                if scale_config.updates == 0 {
+                    eprintln!("error: --scale-updates must be positive");
+                    std::process::exit(1);
+                }
+            }
             "--crash" => chaos_faults.get_or_insert((false, false, false)).0 = true,
             "--partition" => chaos_faults.get_or_insert((false, false, false)).1 = true,
             "--latency-spike" => chaos_faults.get_or_insert((false, false, false)).2 = true,
@@ -326,6 +366,7 @@ fn main() {
                 load_config.seed = parse_or_die("--seed", it.next());
                 chaos_seed = load_config.seed;
                 register_config.seed = load_config.seed;
+                scale_config.seed = load_config.seed;
             }
             "--out" => out = Some(parse_or_die("--out", it.next())),
             "--validate-load" => validations.push((
@@ -372,7 +413,7 @@ fn main() {
         std::process::exit(i32::from(failed));
     }
 
-    let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos || register) {
+    let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos || register || scale) {
         Vec::new()
     } else if ids.is_empty() || ids.contains(&"all") {
         ALL.to_vec()
@@ -481,6 +522,24 @@ fn main() {
                 failed = true;
             } else {
                 println!("register JSON written to {path}");
+            }
+        }
+    }
+    if scale {
+        println!("=== experiment: scale ===");
+        let run = exp::scale::run(&scale_config);
+        println!("{}", run.render());
+        let json = run.to_json();
+        if let Err(err) = exp::scale::validate(&json) {
+            eprintln!("error: scale export invalid: {err}");
+            failed = true;
+        }
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: write {path}: {e}");
+                failed = true;
+            } else {
+                println!("scale JSON written to {path}");
             }
         }
     }

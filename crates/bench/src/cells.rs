@@ -1,6 +1,80 @@
-//! Paper-vs-measured cells and plain-text table rendering.
+//! Paper-vs-measured cells, plain-text table rendering, and the sizing
+//! plan for cell-sharded worlds.
+//!
+//! "Cell" is overloaded here on purpose: the tables below compare paper
+//! cells against measured ones, while [`CellPlan`] sizes administrative
+//! cells — the paper's zone-delegated shards, each with its own meta
+//! server — for the scale-out experiment (E-S).
 
 use std::fmt::Write as _;
+
+/// Target names per administrative cell. The plan adds cells until each
+/// holds roughly this many registered names, mirroring how a federation
+/// splits when a single meta server's zone grows past its comfort zone.
+pub const NAMES_PER_CELL_TARGET: usize = 4096;
+
+/// Hard cap on cells (one simulated meta server host each).
+pub const MAX_CELLS: usize = 256;
+
+/// Names per context directory inside a cell.
+pub const NAMES_PER_CONTEXT: usize = 64;
+
+/// Distinct NSM binding payloads per cell. Every name record in a cell
+/// carries one of these near-identical blobs, so a compact store should
+/// keep each cell's pool once — not once per name.
+pub const PAYLOAD_POOL: usize = 8;
+
+/// Deterministic sizing of a cell-sharded world for a given name count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPlan {
+    /// Total registered names across all cells.
+    pub names: usize,
+    /// Administrative cells (one meta server each).
+    pub cells: usize,
+}
+
+impl CellPlan {
+    /// Sizes a world for `names` registered names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is zero.
+    pub fn for_names(names: usize) -> CellPlan {
+        assert!(names > 0, "a world needs at least one name");
+        let cells = (names / NAMES_PER_CELL_TARGET).clamp(1, MAX_CELLS);
+        CellPlan { names, cells }
+    }
+
+    /// Names registered in cell `cell` (the remainder lands in the last
+    /// cell, so totals always add up to `names`).
+    pub fn names_in_cell(&self, cell: usize) -> usize {
+        let base = self.names / self.cells;
+        if cell + 1 == self.cells {
+            self.names - base * (self.cells - 1)
+        } else {
+            base
+        }
+    }
+
+    /// Context directories in cell `cell`.
+    pub fn contexts_in_cell(&self, cell: usize) -> usize {
+        self.names_in_cell(cell).div_ceil(NAMES_PER_CONTEXT)
+    }
+
+    /// Total context directories across the world.
+    pub fn total_contexts(&self) -> usize {
+        (0..self.cells).map(|c| self.contexts_in_cell(c)).sum()
+    }
+
+    /// Maps a global name index (`0..names`) to its `(cell, index)`
+    /// coordinates under the same layout as [`CellPlan::names_in_cell`].
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        debug_assert!(global < self.names);
+        let base = self.names / self.cells;
+        let cell = (global / base).min(self.cells - 1);
+        (cell, global - cell * base)
+    }
+}
 
 /// One measured quantity compared against the paper.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,6 +256,23 @@ impl PlainTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cell_plan_sizes_monotonically_and_conserves_names() {
+        let small = CellPlan::for_names(10_000);
+        let mid = CellPlan::for_names(100_000);
+        let big = CellPlan::for_names(1_000_000);
+        assert!(small.cells < mid.cells && mid.cells < big.cells);
+        assert!(big.cells <= MAX_CELLS);
+        for plan in [small, mid, big] {
+            let total: usize = (0..plan.cells).map(|c| plan.names_in_cell(c)).sum();
+            assert_eq!(total, plan.names, "{plan:?}");
+        }
+        // The delegation tree really fans out into thousands of contexts
+        // at the upper scale points.
+        assert!(mid.total_contexts() > 1000, "{}", mid.total_contexts());
+        assert!(big.total_contexts() > 10_000, "{}", big.total_contexts());
+    }
 
     #[test]
     fn cell_error() {

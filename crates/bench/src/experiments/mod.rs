@@ -15,6 +15,7 @@ pub mod overhead;
 pub mod preload;
 pub mod register;
 pub mod scalability;
+pub mod scale;
 pub mod table31;
 pub mod table32;
 pub mod timeline;

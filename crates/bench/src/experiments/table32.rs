@@ -23,7 +23,7 @@ fn entry_value(rrs: usize) -> Value {
 }
 
 fn key(rrs: usize) -> MetaKey {
-    MetaKey::HostAddr("BIND".into(), format!("host-{rrs}"))
+    MetaKey::host_addr("BIND", &format!("host-{rrs}"))
 }
 
 /// Measures one cache hit through the real cache in the given mode.

@@ -1,7 +1,17 @@
-//! The Table 3.1 scenario: one import under every colocation arrangement
-//! and cache state.
+//! Deployment scenarios: the Table 3.1 colocation matrix and the
+//! cell-sharded world generator for the scale-out experiment (E-S).
 
 use std::sync::Arc;
+
+use bindns::name::DomainName;
+use bindns::rr::{RData, RType, ResourceRecord};
+use bindns::server::{deploy as deploy_bind, single_zone_server, BindDeployment};
+use bindns::zone::Zone;
+use simnet::rng::DetRng;
+use simnet::world::World;
+use simnet::HostId;
+
+use crate::cells::{CellPlan, PAYLOAD_POOL};
 
 use hns_core::cache::CacheMode;
 use hns_core::colocation::{
@@ -201,9 +211,196 @@ impl DeployedArrangement {
     }
 }
 
+/// A cell-sharded world: a root meta server whose `hns` zone delegates
+/// `cell{c}.hns` to per-cell meta servers, each holding that cell's
+/// context directories, NSM-binding mappings, and registered-name
+/// records. This is the paper's federation story at scale — thousands
+/// of contexts spread over a zone-delegation tree instead of one flat
+/// meta zone.
+pub struct CellWorld {
+    /// The simulated world.
+    pub world: Arc<World>,
+    /// Its RPC fabric.
+    pub net: Arc<hrpc::net::RpcNet>,
+    /// The querying client's host.
+    pub client: HostId,
+    /// The root meta server (zone `hns`, NS cuts + glue only).
+    pub root: BindDeployment,
+    /// Per-cell meta servers, in cell order.
+    pub cells: Vec<BindDeployment>,
+    /// The sizing plan the world was built from.
+    pub plan: CellPlan,
+    /// Total resource records across the root and every cell zone.
+    pub records: usize,
+}
+
+/// Origin of cell `cell`'s delegated zone.
+pub fn cell_origin(cell: usize) -> DomainName {
+    DomainName::parse(&format!("cell{cell}.hns")).expect("cell origin")
+}
+
+/// The `index`-th registered name in cell `cell`.
+pub fn cell_name(cell: usize, index: usize) -> DomainName {
+    DomainName::parse(&format!("n{index}.cell{cell}.hns")).expect("cell name")
+}
+
+/// One of the `PAYLOAD_POOL` near-identical NSM binding blobs names in
+/// `cell` point at. A compact record store keeps each blob once per
+/// cell; a naive per-name copy keeps it once per name.
+fn binding_payload(cell: usize, slot: usize) -> Vec<u8> {
+    format!(
+        "nsm=nsm-cell{cell}-{slot};host=ns.cell{cell}.hns;context=cell{cell};\
+         program=30000{slot};port=102{slot};suite=sun;version=1;owner=admin-cell{cell}"
+    )
+    .into_bytes()
+}
+
+/// Builds and deploys a cell-sharded world for `plan`, assigning each
+/// name's binding payload with a rng seeded from `seed` (so worlds are
+/// byte-identical per seed).
+pub fn build_cell_world(plan: &CellPlan, seed: u64) -> CellWorld {
+    let world = World::paper();
+    let client = world.add_host("client");
+    let root_host = world.add_host("root.hns");
+    let net = hrpc::net::RpcNet::new(Arc::clone(&world));
+    let mut rng = DetRng::new(seed);
+    let ttl = 600;
+
+    let mut root_zone = Zone::new(DomainName::parse("hns").expect("origin"), ttl);
+    let mut cells = Vec::with_capacity(plan.cells);
+    let mut records = 0usize;
+    for c in 0..plan.cells {
+        let host = world.add_host(format!("ns.cell{c}.hns"));
+        let origin = cell_origin(c);
+        let ns_name = DomainName::parse(&format!("ns.cell{c}.hns")).expect("ns name");
+        root_zone
+            .add(ResourceRecord {
+                name: origin.clone(),
+                rtype: RType::Ns,
+                ttl,
+                rdata: RData::Domain(ns_name.clone()),
+            })
+            .expect("delegation");
+        root_zone
+            .add(ResourceRecord::a(ns_name, ttl, NetAddr::of(host)))
+            .expect("glue");
+        records += 2;
+
+        let mut zone = Zone::new(origin.clone(), ttl);
+        let names = plan.names_in_cell(c);
+        for k in 0..plan.contexts_in_cell(c) {
+            let ctx = DomainName::parse(&format!("ctx{k}.cell{c}.hns")).expect("ctx");
+            zone.add(ResourceRecord::unspec(
+                ctx,
+                ttl,
+                format!("ns=NS-cell{c};map=identity").into_bytes(),
+            ))
+            .expect("context record");
+            let map = DomainName::parse(&format!("map{k}.cell{c}.hns")).expect("map");
+            let slot = rng.next_below(PAYLOAD_POOL as u64) as usize;
+            zone.add(ResourceRecord::unspec(map, ttl, binding_payload(c, slot)))
+                .expect("nsm mapping");
+            records += 2;
+        }
+        for i in 0..names {
+            let slot = rng.next_below(PAYLOAD_POOL as u64) as usize;
+            zone.add(ResourceRecord::unspec(
+                cell_name(c, i),
+                ttl,
+                binding_payload(c, slot),
+            ))
+            .expect("name record");
+        }
+        records += names;
+        cells.push(deploy_bind(
+            &net,
+            host,
+            single_zone_server(format!("meta-cell{c}"), zone, true),
+        ));
+    }
+    let root = deploy_bind(
+        &net,
+        root_host,
+        single_zone_server("root", root_zone, false),
+    );
+    CellWorld {
+        world,
+        net,
+        client,
+        root,
+        cells,
+        plan: *plan,
+        records,
+    }
+}
+
+impl CellWorld {
+    /// Bytes actually resident across every zone's compact store
+    /// (shared record bodies counted once).
+    pub fn resident_bytes(&self) -> usize {
+        self.deployments()
+            .map(|d| {
+                d.server
+                    .with_db(|db| Self::db_bytes(db, Zone::resident_bytes))
+            })
+            .sum()
+    }
+
+    /// Bytes the same zones would hold under naive per-record copies —
+    /// the `String`-keyed baseline the compact store is measured against.
+    pub fn naive_bytes(&self) -> usize {
+        self.deployments()
+            .map(|d| d.server.with_db(|db| Self::db_bytes(db, Zone::size_bytes)))
+            .sum()
+    }
+
+    fn deployments(&self) -> impl Iterator<Item = &BindDeployment> {
+        std::iter::once(&self.root).chain(self.cells.iter())
+    }
+
+    fn db_bytes(db: &mut bindns::ZoneDb, f: impl Fn(&Zone) -> usize) -> usize {
+        db.origins().iter().filter_map(|o| db.zone(o)).map(f).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cell_world_delegates_and_dedups_record_bodies() {
+        let plan = CellPlan::for_names(2048);
+        let cw = build_cell_world(&plan, 7);
+        assert_eq!(cw.plan.cells, 1);
+        // Names resolve through the root's referral to the cell server.
+        let resolver = bindns::recursive::RecursiveResolver::new(
+            Arc::clone(&cw.net),
+            cw.client,
+            cw.root.std_binding,
+        );
+        let records = resolver
+            .query(&cell_name(0, 5), RType::Unspec)
+            .expect("resolve via delegation");
+        assert_eq!(records.len(), 1);
+        // The compact store keeps the shared payload pool once; the
+        // naive accounting pays for it once per name.
+        assert!(
+            cw.resident_bytes() * 2 < cw.naive_bytes(),
+            "resident {} vs naive {}",
+            cw.resident_bytes(),
+            cw.naive_bytes()
+        );
+    }
+
+    #[test]
+    fn cell_worlds_are_deterministic_per_seed() {
+        let plan = CellPlan::for_names(1000);
+        let a = build_cell_world(&plan, 42);
+        let b = build_cell_world(&plan, 42);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.resident_bytes(), b.resident_bytes());
+        assert_eq!(a.naive_bytes(), b.naive_bytes());
+    }
 
     #[test]
     fn every_arrangement_imports_successfully() {

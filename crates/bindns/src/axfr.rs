@@ -15,7 +15,7 @@ use hrpc::net::RpcNet;
 use hrpc::HrpcBinding;
 use wire::Value;
 
-use crate::message::{PROC_AXFR, PROC_SERIAL};
+use crate::message::{PROC_AXFR, PROC_IXFR, PROC_SERIAL};
 use crate::name::DomainName;
 use crate::rr::ResourceRecord;
 use crate::server::BindServer;
@@ -58,6 +58,95 @@ pub fn transfer_zone(
         serial,
         size_bytes,
         records,
+    })
+}
+
+/// What an incremental transfer shipped.
+#[derive(Debug, Clone)]
+pub enum IxfrContents {
+    /// The client's serial is current; nothing shipped.
+    Unchanged,
+    /// Only names changed since the client's serial: their current
+    /// record sets (flat, grouped by the caller) plus names whose
+    /// records were removed entirely.
+    Incremental {
+        /// Current records of every changed name that still exists.
+        records: Vec<ResourceRecord>,
+        /// Changed names with no remaining records.
+        removed: Vec<DomainName>,
+    },
+    /// The delta log was truncated past the client's serial; the whole
+    /// zone rode back (exactly an AXFR).
+    Full {
+        /// Every record in the zone.
+        records: Vec<ResourceRecord>,
+    },
+}
+
+/// The result of an incremental ([`PROC_IXFR`]) zone transfer.
+#[derive(Debug, Clone)]
+pub struct IncrementalTransfer {
+    /// Zone serial at transfer time.
+    pub serial: u32,
+    /// Bytes actually shipped (drives the calibrated transfer cost);
+    /// zero when unchanged, the full zone size on fallback.
+    pub size_bytes: usize,
+    /// What rode back.
+    pub contents: IxfrContents,
+}
+
+/// Transfers the changes to `origin` since `from_serial` from the server
+/// behind `binding`, charging the calibrated per-kilobyte cost for only
+/// the bytes shipped. Falls back to a full transfer server-side when the
+/// delta log no longer covers `from_serial`.
+pub fn transfer_zone_incremental(
+    net: &RpcNet,
+    caller: HostId,
+    binding: &HrpcBinding,
+    origin: &DomainName,
+    from_serial: u32,
+) -> RpcResult<IncrementalTransfer> {
+    let args = Value::record(vec![
+        ("origin", Value::str(origin.to_string())),
+        ("from_serial", Value::U32(from_serial)),
+    ]);
+    let reply = net.call(caller, binding, PROC_IXFR, &args)?;
+    let serial = reply.u32_field("serial")?;
+    let mode = reply.str_field("mode")?;
+    let size_bytes = reply.u32_field("size_bytes")? as usize;
+    let list = reply.field("records").and_then(Value::as_list)?;
+    let records: Result<Vec<ResourceRecord>, _> =
+        list.iter().map(ResourceRecord::from_value).collect();
+    let records = records.map_err(|e| RpcError::Service(e.to_string()))?;
+    let removed: Result<Vec<DomainName>, _> = reply
+        .field("removed")
+        .and_then(Value::as_list)?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map_err(RpcError::from)
+                .and_then(|s| DomainName::parse(s).map_err(|e| RpcError::Service(e.to_string())))
+        })
+        .collect();
+    let contents = match mode {
+        "unchanged" => IxfrContents::Unchanged,
+        "incremental" => IxfrContents::Incremental {
+            records,
+            removed: removed?,
+        },
+        "full" => IxfrContents::Full { records },
+        other => return Err(RpcError::Service(format!("unknown IXFR mode `{other}`"))),
+    };
+    // Charge for shipped bytes, minus the round trip the fabric already
+    // charged (same accounting as the full transfer).
+    let world = net.world();
+    let kb = size_bytes as f64 / 1024.0;
+    let rtt = world.costs.rpc_rtt(binding.components.suite_kind());
+    world.charge_ms((world.costs.axfr(kb) - rtt).max(0.0));
+    Ok(IncrementalTransfer {
+        serial,
+        size_bytes,
+        contents,
     })
 }
 
@@ -252,6 +341,96 @@ mod tests {
             .lookup_direct(&name("new.hns"), RType::Txt)
             .expect("lookup");
         assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn incremental_transfer_ships_only_changes() {
+        let (_world, net, client, dep) = setup();
+        let full = transfer_zone(&net, client, &dep.hrpc_binding, &name("hns")).expect("axfr");
+
+        // Current client: nothing ships.
+        let up_to_date =
+            transfer_zone_incremental(&net, client, &dep.hrpc_binding, &name("hns"), full.serial)
+                .expect("ixfr");
+        assert!(matches!(up_to_date.contents, IxfrContents::Unchanged));
+        assert_eq!(up_to_date.size_bytes, 0);
+
+        // One update: only the changed name's set ships, far below full.
+        let updater =
+            crate::resolver::HrpcResolver::new(Arc::clone(&net), client, dep.hrpc_binding);
+        updater
+            .update(&UpdateOp::Add(ResourceRecord::txt(
+                name("e0.hns"),
+                600,
+                "entry 0 v2",
+            )))
+            .expect("update");
+        let delta =
+            transfer_zone_incremental(&net, client, &dep.hrpc_binding, &name("hns"), full.serial)
+                .expect("ixfr");
+        match &delta.contents {
+            IxfrContents::Incremental { records, removed } => {
+                assert!(records.iter().all(|r| r.name == name("e0.hns")));
+                assert_eq!(records.len(), 2, "the changed name's full current set");
+                assert!(removed.is_empty());
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+        assert!(
+            delta.size_bytes < full.size_bytes,
+            "delta {} must undercut full {}",
+            delta.size_bytes,
+            full.size_bytes
+        );
+
+        // Removal of a whole name is reported by name.
+        updater
+            .update(&UpdateOp::Delete {
+                name: name("e1.hns"),
+                rtype: RType::Txt,
+            })
+            .expect("remove");
+        let delta2 =
+            transfer_zone_incremental(&net, client, &dep.hrpc_binding, &name("hns"), delta.serial)
+                .expect("ixfr");
+        match &delta2.contents {
+            IxfrContents::Incremental { removed, .. } => {
+                assert_eq!(removed, &vec![name("e1.hns")]);
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_transfer_cost_tracks_shipped_bytes() {
+        let (world, net, client, dep) = setup();
+        let full = transfer_zone(&net, client, &dep.hrpc_binding, &name("hns")).expect("axfr");
+        let (_, took_unchanged, _) = world.measure(|| {
+            transfer_zone_incremental(&net, client, &dep.hrpc_binding, &name("hns"), full.serial)
+                .expect("ixfr")
+        });
+        let (full2, took_full, _) = world.measure(|| {
+            transfer_zone(&net, client, &dep.hrpc_binding, &name("hns")).expect("axfr")
+        });
+        assert!(full2.size_bytes > 0);
+        assert!(
+            took_unchanged.as_ms_f64() < took_full.as_ms_f64(),
+            "an empty delta ({took_unchanged}) must cost less than a full transfer ({took_full})"
+        );
+    }
+
+    #[test]
+    fn truncated_log_falls_back_to_full_transfer() {
+        let (_world, net, client, dep) = setup();
+        // Serial 0 predates the zone's construction serial, so the log
+        // cannot serve it.
+        let xfer = transfer_zone_incremental(&net, client, &dep.hrpc_binding, &name("hns"), 0)
+            .expect("ixfr");
+        match &xfer.contents {
+            IxfrContents::Full { records } => assert_eq!(records.len(), 8),
+            other => panic!("expected full fallback, got {other:?}"),
+        }
+        assert!(xfer.size_bytes > 0);
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //! cloned both the key and the record vector on every hit, which
 //! serialized concurrent resolvers; the sharded layout keeps lookups
 //! from different threads on different locks and makes hits
-//! allocation-free.
+//! allocation-free. Keys are interned [`NameId`]s — four bytes per
+//! entry instead of an owned label vector, hashed and compared as a
+//! single `u32` — so a million cached names do not hold a million
+//! copies of their owner names.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use intern::NameId;
 
 use parking_lot::Mutex;
 use simnet::obs::MetricsRegistry;
@@ -76,12 +80,10 @@ struct Entry {
     expired_counted: bool,
 }
 
-/// One shard: owner name → the record sets cached under it, one per
-/// type. Keying the map by name alone lets `get` probe with the
-/// caller's borrowed [`DomainName`] — no key clone on the read path.
-/// The per-name type list is short (a handful of record types), so a
-/// linear scan beats a second hash.
-type Shard = HashMap<DomainName, Vec<(RType, Entry)>>;
+/// One shard: interned owner name → the record sets cached under it,
+/// one per type. The per-name type list is short (a handful of record
+/// types), so a linear scan beats a second hash.
+type Shard = HashMap<NameId, Vec<(RType, Entry)>>;
 
 /// A TTL-invalidated record cache, lock-striped for concurrent readers.
 #[derive(Debug)]
@@ -105,10 +107,9 @@ impl TtlCache {
         Self::default()
     }
 
-    fn shard_of(&self, name: &DomainName) -> &Mutex<Shard> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        name.hash(&mut h);
-        &self.shards[h.finish() as usize & (SHARD_COUNT - 1)]
+    fn shard_of(&self, id: NameId) -> &Mutex<Shard> {
+        // Interned ids are dense, so the low bits spread evenly.
+        &self.shards[id.0 as usize & (SHARD_COUNT - 1)]
     }
 
     /// Looks up live records for (`name`, `rtype`) at virtual time `now`.
@@ -124,8 +125,9 @@ impl TtlCache {
         name: &DomainName,
         rtype: RType,
     ) -> Option<Arc<[ResourceRecord]>> {
-        let mut shard = self.shard_of(name).lock();
-        let Some(sets) = shard.get_mut(name) else {
+        let id = name.interned();
+        let mut shard = self.shard_of(id).lock();
+        let Some(sets) = shard.get_mut(&id) else {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
@@ -158,9 +160,10 @@ impl TtlCache {
         name: &DomainName,
         rtype: RType,
     ) -> Option<(Arc<[ResourceRecord]>, SimDuration)> {
-        let shard = self.shard_of(name).lock();
+        let id = name.interned();
+        let shard = self.shard_of(id).lock();
         let entry = shard
-            .get(name)?
+            .get(&id)?
             .iter()
             .find(|(t, _)| *t == rtype)
             .map(|(_, e)| e)?;
@@ -197,8 +200,9 @@ impl TtlCache {
             expires_at,
             expired_counted: false,
         };
-        let mut shard = self.shard_of(&name).lock();
-        let sets = shard.entry(name).or_default();
+        let id = name.interned();
+        let mut shard = self.shard_of(id).lock();
+        let sets = shard.entry(id).or_default();
         match sets.iter_mut().find(|(t, _)| *t == rtype) {
             Some((_, existing)) => *existing = entry,
             None => sets.push((rtype, entry)),

@@ -26,6 +26,11 @@ pub const PROC_SERIAL: u32 = 4;
 /// additional record sets (the batched meta pipeline; see
 /// [`crate::server::AdditionalProvider`]).
 pub const PROC_MQUERY: u32 = 5;
+/// Procedure: incremental zone transfer — ship only the record sets of
+/// names changed since the client's serial, falling back to a full
+/// transfer when the delta log is truncated (see
+/// [`crate::axfr::transfer_zone_incremental`]).
+pub const PROC_IXFR: u32 = 6;
 
 /// A lookup question.
 #[derive(Debug, Clone, PartialEq, Eq)]

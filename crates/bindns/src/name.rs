@@ -100,6 +100,22 @@ impl DomainName {
         DomainName::parse(name.trim_end_matches('.'))
     }
 
+    /// Interns the canonical (lowercase, dotted) rendering of this name
+    /// in the global interner, returning its compact id. A thread-local
+    /// buffer keeps the warm path allocation-free.
+    pub fn interned(&self) -> intern::NameId {
+        use std::fmt::Write as _;
+        thread_local! {
+            static BUF: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+        }
+        BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            let _ = write!(buf, "{self}");
+            intern::intern(&buf)
+        })
+    }
+
     /// Serialized length in bytes (labels plus dots).
     pub fn wire_len(&self) -> usize {
         if self.labels.is_empty() {

@@ -92,7 +92,7 @@ impl std::fmt::Display for RType {
 }
 
 /// Typed record data.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RData {
     /// A network address (for `A` records).
     Addr(NetAddr),

@@ -27,8 +27,8 @@ use wire::Value;
 use crate::db::ZoneDb;
 use crate::error::{NsError, Rcode};
 use crate::message::{
-    Answer, MultiAnswer, MultiQuestion, Question, PROC_AXFR, PROC_MQUERY, PROC_QUERY, PROC_SERIAL,
-    PROC_UPDATE,
+    Answer, MultiAnswer, MultiQuestion, Question, PROC_AXFR, PROC_IXFR, PROC_MQUERY, PROC_QUERY,
+    PROC_SERIAL, PROC_UPDATE,
 };
 use crate::name::DomainName;
 use crate::rr::ResourceRecord;
@@ -255,6 +255,69 @@ impl BindServer {
         ]))
     }
 
+    /// Incremental transfer: records of names changed since the client's
+    /// serial. Reply `mode` is `"unchanged"` (client is current),
+    /// `"incremental"` (only changed sets shipped; a changed name whose
+    /// records were all removed appears in `removed`), or `"full"` (the
+    /// delta log no longer reaches the client's serial — the entire zone
+    /// rides back, exactly an AXFR).
+    fn serve_ixfr(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
+        ctx.world.charge_ms(ctx.world.costs.bind_service);
+        ctx.world.metrics().inc("bindns", "zone_transfers");
+        let origin = DomainName::parse(args.str_field("origin")?).map_err(service_err)?;
+        let from_serial = args.u32_field("from_serial")?;
+        let db = self.db.read();
+        let zone = db
+            .zone(&origin)
+            .ok_or_else(|| RpcError::NotFound(format!("zone {origin}")))?;
+        let serial = zone.serial();
+        let (mode, records, removed, size_bytes) = if from_serial == serial {
+            ("unchanged", Vec::new(), Vec::new(), 0usize)
+        } else {
+            match zone.deltas_since(from_serial) {
+                Some(changed) => {
+                    let mut records: Vec<ResourceRecord> = Vec::new();
+                    let mut removed: Vec<DomainName> = Vec::new();
+                    for name in changed {
+                        match zone.records_at(&name) {
+                            Some(set) => records.extend(set),
+                            None => removed.push(name),
+                        }
+                    }
+                    let size: usize = records
+                        .iter()
+                        .map(ResourceRecord::size_bytes)
+                        .sum::<usize>()
+                        + removed.iter().map(DomainName::wire_len).sum::<usize>();
+                    ("incremental", records, removed, size)
+                }
+                None => {
+                    ctx.world.metrics().inc("bindns", "ixfr_fallbacks");
+                    ("full", zone.all_records(), Vec::new(), zone.size_bytes())
+                }
+            }
+        };
+        ctx.world.trace(
+            Some(ctx.host),
+            TraceKind::NameService,
+            format!(
+                "{}: IXFR {origin} from serial {from_serial} -> {mode} ({size_bytes} bytes)",
+                self.name
+            ),
+        );
+        let records: Result<Vec<Value>, _> = records.iter().map(ResourceRecord::to_value).collect();
+        Ok(Value::record(vec![
+            ("serial", Value::U32(serial)),
+            ("mode", Value::str(mode)),
+            ("size_bytes", Value::U32(size_bytes as u32)),
+            ("records", Value::List(records.map_err(service_err)?)),
+            (
+                "removed",
+                Value::List(removed.iter().map(|n| Value::str(n.to_string())).collect()),
+            ),
+        ]))
+    }
+
     fn serve_update(&self, ctx: &CallCtx<'_>, args: &Value) -> RpcResult<Value> {
         ctx.world.charge_ms(ctx.world.costs.bind_service);
         ctx.world.metrics().inc("bindns", "updates");
@@ -312,6 +375,7 @@ impl RpcService for BindServer {
             PROC_QUERY => self.serve_query(ctx, args),
             PROC_MQUERY => self.serve_mquery(ctx, args),
             PROC_AXFR => self.serve_axfr(ctx, args),
+            PROC_IXFR => self.serve_ixfr(ctx, args),
             PROC_UPDATE => self.serve_update(ctx, args),
             PROC_SERIAL => self.serve_serial(ctx, args),
             other => Err(RpcError::BadProcedure(other)),

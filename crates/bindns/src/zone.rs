@@ -1,10 +1,68 @@
 //! Authoritative zones.
+//!
+//! Record storage is **content-shared**: the owner name lives once as the
+//! map key, and the owner-independent remainder of each record (type, TTL,
+//! rdata) is kept as an [`Arc<RrBody>`] deduplicated through a per-zone
+//! arena. A meta zone of 10^6 names whose NSM bindings are near-identical
+//! therefore stores each distinct body once and each record as one pointer
+//! — the seed stored a full `ResourceRecord` (owner name included) per
+//! record. [`Zone::size_bytes`] keeps the naive per-record accounting
+//! (it drives calibrated transfer costs); [`Zone::resident_bytes`]
+//! reports what the shared layout actually holds.
+//!
+//! Zones also keep a bounded **delta log** of which owner names changed
+//! at which serial, the basis of IXFR-style incremental transfer
+//! ([`crate::axfr::transfer_zone_incremental`]): a client that preloaded
+//! at serial S asks for "changes since S" and receives only the record
+//! sets of names touched after S, falling back to a full transfer when
+//! the log has been truncated past S.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::Arc;
 
 use crate::error::{NsError, NsResult};
 use crate::name::DomainName;
 use crate::rr::{RData, RType, ResourceRecord};
+
+/// The owner-independent remainder of a resource record. Two records at
+/// different names with the same type, TTL and rdata share one body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RrBody {
+    /// Record type.
+    pub rtype: RType,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Payload.
+    pub rdata: RData,
+}
+
+impl RrBody {
+    fn of(rr: &ResourceRecord) -> RrBody {
+        RrBody {
+            rtype: rr.rtype,
+            ttl: rr.ttl,
+            rdata: rr.rdata.clone(),
+        }
+    }
+
+    fn to_record(&self, name: &DomainName) -> ResourceRecord {
+        ResourceRecord {
+            name: name.clone(),
+            rtype: self.rtype,
+            ttl: self.ttl,
+            rdata: self.rdata.clone(),
+        }
+    }
+
+    /// Stored bytes of the body alone (type + ttl + rdata).
+    fn body_bytes(&self) -> usize {
+        8 + self.rdata.to_bytes().map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+/// Maximum delta-log entries retained; older entries are dropped and the
+/// serials they covered can then only be served by full transfer.
+pub const DELTA_LOG_CAP: usize = 1024;
 
 /// An authoritative zone: a subtree of the domain space with a serial
 /// number that advances on every mutation (the basis of zone transfer).
@@ -13,7 +71,13 @@ pub struct Zone {
     origin: DomainName,
     serial: u32,
     default_ttl: u32,
-    records: BTreeMap<DomainName, Vec<ResourceRecord>>,
+    records: BTreeMap<DomainName, Vec<Arc<RrBody>>>,
+    /// Content-dedup arena: one shared allocation per distinct body.
+    arena: HashSet<Arc<RrBody>>,
+    /// `(serial after the mutation, owner name touched)`, oldest first.
+    delta_log: VecDeque<(u32, DomainName)>,
+    /// Lowest client serial the log can still serve incrementally.
+    delta_floor: u32,
 }
 
 impl Zone {
@@ -24,7 +88,46 @@ impl Zone {
             serial: 1,
             default_ttl,
             records: BTreeMap::new(),
+            arena: HashSet::new(),
+            delta_log: VecDeque::new(),
+            delta_floor: 1,
         }
+    }
+
+    /// Interns `body` in the arena, returning the shared copy.
+    fn share(&mut self, body: RrBody) -> Arc<RrBody> {
+        match self.arena.get(&body) {
+            Some(shared) => Arc::clone(shared),
+            None => {
+                let shared = Arc::new(body);
+                self.arena.insert(Arc::clone(&shared));
+                shared
+            }
+        }
+    }
+
+    /// Drops arena bodies no longer referenced by any record (`dropped`
+    /// are the per-name copies just removed). Conservative: bodies still
+    /// shared with a cloned zone are kept.
+    fn prune(&mut self, dropped: Vec<Arc<RrBody>>) {
+        for body in dropped {
+            // The arena holds one reference and `body` itself holds one;
+            // exactly two means no record (here or in a clone) uses it.
+            if Arc::strong_count(&body) == 2 {
+                self.arena.remove(&body);
+            }
+        }
+    }
+
+    /// Bumps the serial and logs `name` as changed at the new serial.
+    fn log_change(&mut self, name: DomainName) {
+        self.serial += 1;
+        if self.delta_log.len() == DELTA_LOG_CAP {
+            if let Some((dropped_serial, _)) = self.delta_log.pop_front() {
+                self.delta_floor = dropped_serial;
+            }
+        }
+        self.delta_log.push_back((self.serial, name));
     }
 
     /// The zone origin.
@@ -71,8 +174,12 @@ impl Zone {
                 rr.name
             )));
         }
-        set.push(rr);
-        self.serial += 1;
+        let body = self.share(RrBody::of(&rr));
+        self.records
+            .get_mut(&rr.name)
+            .expect("just created")
+            .push(body);
+        self.log_change(rr.name);
         Ok(())
     }
 
@@ -86,16 +193,25 @@ impl Zone {
     /// removed. Bumps the serial if anything changed.
     pub fn remove(&mut self, name: &DomainName, rtype: RType) -> usize {
         let mut removed = 0;
+        let mut dropped = Vec::new();
         if let Some(set) = self.records.get_mut(name) {
             let before = set.len();
-            set.retain(|r| r.rtype != rtype);
+            set.retain(|r| {
+                if r.rtype == rtype {
+                    dropped.push(Arc::clone(r));
+                    false
+                } else {
+                    true
+                }
+            });
             removed = before - set.len();
             if set.is_empty() {
                 self.records.remove(name);
             }
         }
         if removed > 0 {
-            self.serial += 1;
+            self.prune(dropped);
+            self.log_change(name.clone());
         }
         removed
     }
@@ -118,6 +234,32 @@ impl Zone {
         Ok(())
     }
 
+    /// Owner names changed since `from_serial`, in name order, or `None`
+    /// when the delta log no longer reaches back that far (the caller
+    /// must fall back to a full transfer). A name is reported even if
+    /// its records were later removed entirely; callers read the current
+    /// set (possibly empty) to learn its fate.
+    pub fn deltas_since(&self, from_serial: u32) -> Option<Vec<DomainName>> {
+        if from_serial < self.delta_floor {
+            return None;
+        }
+        let changed: BTreeSet<DomainName> = self
+            .delta_log
+            .iter()
+            .filter(|(serial, _)| *serial > from_serial)
+            .map(|(_, name)| name.clone())
+            .collect();
+        Some(changed.into_iter().collect())
+    }
+
+    /// Every record at `name` (all types), or `None` if nothing is
+    /// stored there.
+    pub fn records_at(&self, name: &DomainName) -> Option<Vec<ResourceRecord>> {
+        self.records
+            .get(name)
+            .map(|set| set.iter().map(|b| b.to_record(name)).collect())
+    }
+
     /// Looks up records of `rtype` at `name`, following at most one level
     /// of `CNAME` indirection within the zone.
     pub fn lookup(&self, name: &DomainName, rtype: RType) -> NsResult<Vec<ResourceRecord>> {
@@ -128,8 +270,11 @@ impl Zone {
             .records
             .get(name)
             .ok_or_else(|| NsError::NameError(name.to_string()))?;
-        let matched: Vec<ResourceRecord> =
-            set.iter().filter(|r| r.rtype == rtype).cloned().collect();
+        let matched: Vec<ResourceRecord> = set
+            .iter()
+            .filter(|r| r.rtype == rtype)
+            .map(|b| b.to_record(name))
+            .collect();
         if !matched.is_empty() {
             return Ok(matched);
         }
@@ -138,13 +283,13 @@ impl Zone {
             if let Some(cname) = set.iter().find(|r| r.rtype == RType::Cname) {
                 if let RData::Domain(target) = &cname.rdata {
                     if self.contains(target) {
-                        let mut result = vec![cname.clone()];
+                        let mut result = vec![cname.to_record(name)];
                         if let Ok(mut chased) = self.lookup(target, rtype) {
                             result.append(&mut chased);
                         }
                         return Ok(result);
                     }
-                    return Ok(vec![cname.clone()]);
+                    return Ok(vec![cname.to_record(name)]);
                 }
             }
         }
@@ -166,7 +311,7 @@ impl Zone {
                 let ns: Vec<ResourceRecord> = set
                     .iter()
                     .filter(|r| r.rtype == RType::Ns)
-                    .cloned()
+                    .map(|b| b.to_record(&candidate))
                     .collect();
                 if !ns.is_empty() {
                     // Prefer the deepest cut; the first found walking up
@@ -186,7 +331,7 @@ impl Zone {
                     RData::Domain(target) => self.records.get(target).map(|set| {
                         set.iter()
                             .filter(|g| g.rtype == RType::A)
-                            .cloned()
+                            .map(|b| b.to_record(target))
                             .collect::<Vec<_>>()
                     }),
                     _ => None,
@@ -202,8 +347,8 @@ impl Zone {
     /// transfer payload.
     pub fn all_records(&self) -> Vec<ResourceRecord> {
         self.records
-            .values()
-            .flat_map(|set| set.iter().cloned())
+            .iter()
+            .flat_map(|(name, set)| set.iter().map(move |b| b.to_record(name)))
             .collect()
     }
 
@@ -212,13 +357,34 @@ impl Zone {
         self.records.values().map(Vec::len).sum()
     }
 
-    /// Total stored size in bytes (drives zone-transfer cost).
+    /// Total stored size in bytes, counted naively — every record pays
+    /// for its owner name and its full body, as if nothing were shared.
+    /// This is the wire-transfer accounting (it drives the calibrated
+    /// zone-transfer cost) and the baseline [`Zone::resident_bytes`] is
+    /// measured against.
     pub fn size_bytes(&self) -> usize {
         self.records
-            .values()
-            .flat_map(|set| set.iter())
-            .map(ResourceRecord::size_bytes)
+            .iter()
+            .flat_map(|(name, set)| set.iter().map(move |b| name.wire_len() + b.body_bytes()))
             .sum()
+    }
+
+    /// Bytes the shared layout actually holds resident: each owner name
+    /// once (the map key), one `Arc` pointer per record slot, and each
+    /// distinct body once (the arena copy).
+    pub fn resident_bytes(&self) -> usize {
+        let names_and_slots: usize = self
+            .records
+            .iter()
+            .map(|(name, set)| name.wire_len() + set.len() * std::mem::size_of::<usize>())
+            .sum();
+        let bodies: usize = self.arena.iter().map(|b| b.body_bytes()).sum();
+        names_and_slots + bodies
+    }
+
+    /// Number of distinct record bodies shared through the arena.
+    pub fn distinct_bodies(&self) -> usize {
+        self.arena.len()
     }
 }
 
@@ -432,6 +598,100 @@ mod tests {
         })
         .expect("apex ns");
         assert!(z.find_delegation(&name("fiji.cs.washington.edu")).is_none());
+    }
+
+    #[test]
+    fn identical_bodies_are_shared_across_names() {
+        let mut z = zone();
+        for i in 0..100 {
+            z.add(ResourceRecord::txt(
+                name(&format!("host{i}.cs.washington.edu")),
+                600,
+                "suite=sun;port=1234",
+            ))
+            .expect("add");
+        }
+        assert_eq!(z.record_count(), 100);
+        assert_eq!(z.distinct_bodies(), 1, "one shared body for 100 names");
+        assert!(
+            z.resident_bytes() < z.size_bytes(),
+            "shared {} must undercut naive {}",
+            z.resident_bytes(),
+            z.size_bytes()
+        );
+    }
+
+    #[test]
+    fn removing_last_user_of_a_body_prunes_the_arena() {
+        let mut z = zone();
+        z.add(ResourceRecord::txt(name("a.cs.washington.edu"), 60, "x"))
+            .expect("add");
+        z.add(ResourceRecord::txt(name("b.cs.washington.edu"), 60, "x"))
+            .expect("add");
+        assert_eq!(z.distinct_bodies(), 1);
+        z.remove(&name("a.cs.washington.edu"), RType::Txt);
+        assert_eq!(z.distinct_bodies(), 1, "still referenced by b");
+        z.remove(&name("b.cs.washington.edu"), RType::Txt);
+        assert_eq!(z.distinct_bodies(), 0, "last reference pruned");
+    }
+
+    #[test]
+    fn deltas_since_report_changed_names() {
+        let mut z = zone();
+        let s0 = z.serial();
+        assert_eq!(z.deltas_since(s0).expect("live log"), Vec::new());
+        z.add(ResourceRecord::txt(name("a.cs.washington.edu"), 60, "1"))
+            .expect("add");
+        let s1 = z.serial();
+        z.add(ResourceRecord::txt(name("b.cs.washington.edu"), 60, "2"))
+            .expect("add");
+        z.remove(&name("a.cs.washington.edu"), RType::Txt);
+        let since_start = z.deltas_since(s0).expect("live log");
+        assert_eq!(
+            since_start,
+            vec![name("a.cs.washington.edu"), name("b.cs.washington.edu")],
+            "changed names, deduplicated, in name order"
+        );
+        let since_s1 = z.deltas_since(s1).expect("live log");
+        assert_eq!(
+            since_s1,
+            vec![name("a.cs.washington.edu"), name("b.cs.washington.edu")],
+            "a changed again (removal) after s1"
+        );
+        assert_eq!(z.deltas_since(z.serial()).expect("live log"), Vec::new());
+    }
+
+    #[test]
+    fn truncated_delta_log_forces_full_fallback() {
+        let mut z = zone();
+        let s0 = z.serial();
+        for i in 0..(DELTA_LOG_CAP + 10) {
+            z.add(ResourceRecord::txt(
+                name(&format!("n{i}.cs.washington.edu")),
+                60,
+                format!("v{i}"),
+            ))
+            .expect("add");
+        }
+        assert!(
+            z.deltas_since(s0).is_none(),
+            "serial {s0} fell off the capped log"
+        );
+        assert!(
+            z.deltas_since(z.serial() - 5).is_some(),
+            "recent serials still served incrementally"
+        );
+    }
+
+    #[test]
+    fn records_at_returns_all_types_at_a_name() {
+        let mut z = zone();
+        let n = name("multi.cs.washington.edu");
+        z.add(ResourceRecord::txt(n.clone(), 60, "t")).expect("add");
+        z.add(ResourceRecord::a(n.clone(), 60, NetAddr::of(HostId(3))))
+            .expect("add");
+        assert_eq!(z.records_at(&n).expect("present").len(), 2);
+        assert!(z.records_at(&name("ghost.cs.washington.edu")).is_none());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::name::ThreePartName;
 use crate::property::{Property, PropertyId};
 use crate::server::{
     property_from_value, PROC_ADD_ALIAS, PROC_ADD_ENTRY, PROC_ADD_MEMBER, PROC_DELETE, PROC_LIST,
-    PROC_LOOKUP, PROC_SET_ITEM,
+    PROC_LOOKUP, PROC_LOOKUP_RUN, PROC_SET_ITEM,
 };
 
 /// A client of one Clearinghouse server.
@@ -111,6 +111,27 @@ impl ChClient {
         p.as_item()
             .cloned()
             .map_err(|e| hrpc::RpcError::Service(e.to_string()))
+    }
+
+    /// Reads the same item property for each of `names` in one RPC,
+    /// returning the values of the longest prefix of `names` that
+    /// exists (a shorter result means the run hit a missing entry).
+    /// Rides the same read failover as [`ChClient::lookup`].
+    pub fn lookup_item_run(
+        &self,
+        names: &[ThreePartName],
+        prop: PropertyId,
+    ) -> RpcResult<Vec<Value>> {
+        let args = Value::record(vec![
+            ("creds", self.creds.to_value()),
+            (
+                "names",
+                Value::List(names.iter().map(|n| Value::str(n.to_string())).collect()),
+            ),
+            ("prop", Value::U32(prop.0)),
+        ]);
+        let reply = self.call_read(PROC_LOOKUP_RUN, &args)?;
+        Ok(reply.as_list()?.to_vec())
     }
 
     /// Reads a group property's members.
@@ -269,6 +290,32 @@ mod tests {
             .set_item(&name, PROP_ADDRESS, Value::U32(5))
             .expect("set");
         assert!(client.lookup_group(&name, PROP_ADDRESS).is_err());
+    }
+
+    #[test]
+    fn item_run_returns_the_existing_prefix_in_one_rpc() {
+        let (world, client) = setup();
+        let names: Vec<ThreePartName> = (0..4)
+            .map(|i| ThreePartName::parse(&format!("link{i}:cs:uw")).expect("name"))
+            .collect();
+        for (i, n) in names[..2].iter().enumerate() {
+            client
+                .set_item(n, PROP_ADDRESS, Value::U32(i as u32))
+                .expect("set");
+        }
+        let before = world.counters().ns_lookups;
+        let run = client.lookup_item_run(&names, PROP_ADDRESS).expect("run");
+        assert_eq!(world.counters().ns_lookups - before, 1, "one coalesced RPC");
+        assert_eq!(
+            run,
+            vec![Value::U32(0), Value::U32(1)],
+            "existing prefix only"
+        );
+        // A run headed by a missing entry is empty, not an error.
+        let empty = client
+            .lookup_item_run(&names[2..], PROP_ADDRESS)
+            .expect("empty run");
+        assert!(empty.is_empty());
     }
 
     #[test]

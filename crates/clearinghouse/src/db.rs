@@ -1,6 +1,16 @@
 //! The per-domain entry database.
+//!
+//! Entries and aliases are keyed by interned [`NameId`]s: at scale each
+//! three-part name is stored once in the global interner and the tables
+//! hold four-byte handles, so a database of 10^6 entries does not carry
+//! 10^6 owned name copies (the seed keyed both tables by
+//! `ThreePartName`, three heap strings per key per table). Enumeration
+//! paths (`list`, `snapshot`) resolve and sort, preserving the
+//! name-ordered output the old `BTreeMap` iteration produced.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use intern::NameId;
 
 use crate::error::{ChError, ChResult};
 use crate::name::ThreePartName;
@@ -11,9 +21,17 @@ use crate::property::{Entry, Property, PropertyId};
 pub struct ChDb {
     /// Domains served, as `(domain, organization)` pairs.
     domains: Vec<(String, String)>,
-    entries: BTreeMap<ThreePartName, Entry>,
+    entries: HashMap<NameId, Entry>,
     /// Alias → canonical name.
-    aliases: BTreeMap<ThreePartName, ThreePartName>,
+    aliases: HashMap<NameId, NameId>,
+}
+
+/// Resolves an interned id back into a parsed three-part name. Ids in
+/// the tables were minted from canonical renderings, so this cannot
+/// fail for keys we put there.
+fn resolve_tpn(id: NameId) -> ThreePartName {
+    let s = intern::resolve(id).expect("db key interned");
+    ThreePartName::parse(&s).expect("db key is canonical")
 }
 
 impl ChDb {
@@ -24,8 +42,8 @@ impl ChDb {
                 .into_iter()
                 .map(|(d, o)| (d.to_ascii_lowercase(), o.to_ascii_lowercase()))
                 .collect(),
-            entries: BTreeMap::new(),
-            aliases: BTreeMap::new(),
+            entries: HashMap::new(),
+            aliases: HashMap::new(),
         }
     }
 
@@ -49,10 +67,11 @@ impl ChDb {
     /// Creates an empty entry.
     pub fn add_entry(&mut self, name: ThreePartName) -> ChResult<()> {
         self.check_serves(&name)?;
-        if self.entries.contains_key(&name) {
+        let id = name.interned();
+        if self.entries.contains_key(&id) {
             return Err(ChError::AlreadyExists(name.to_string()));
         }
-        self.entries.insert(name, Entry::new());
+        self.entries.insert(id, Entry::new());
         Ok(())
     }
 
@@ -60,7 +79,7 @@ impl ChDb {
     pub fn delete_entry(&mut self, name: &ThreePartName) -> ChResult<()> {
         self.check_serves(name)?;
         self.entries
-            .remove(name)
+            .remove(&name.interned())
             .map(|_| ())
             .ok_or_else(|| ChError::NotFound(name.to_string()))
     }
@@ -74,7 +93,7 @@ impl ChDb {
     ) -> ChResult<()> {
         self.check_serves(name)?;
         self.entries
-            .entry(name.clone())
+            .entry(name.interned())
             .or_default()
             .set_item(id, value);
         Ok(())
@@ -89,17 +108,23 @@ impl ChDb {
     ) -> ChResult<()> {
         self.check_serves(name)?;
         self.entries
-            .entry(name.clone())
+            .entry(name.interned())
             .or_default()
             .add_member(id, member)
     }
 
+    /// Resolves one level of aliasing (id form; the lookup hot path —
+    /// no name materialization).
+    fn canonical_id(&self, id: NameId) -> NameId {
+        self.aliases.get(&id).copied().unwrap_or(id)
+    }
+
     /// Resolves one level of aliasing.
     pub fn canonical(&self, name: &ThreePartName) -> ThreePartName {
-        self.aliases
-            .get(name)
-            .cloned()
-            .unwrap_or_else(|| name.clone())
+        match self.aliases.get(&name.interned()) {
+            Some(&target) => resolve_tpn(target),
+            None => name.clone(),
+        }
     }
 
     /// Installs an alias. The alias may not shadow an existing entry, and
@@ -107,22 +132,24 @@ impl ChDb {
     pub fn add_alias(&mut self, alias: ThreePartName, target: ThreePartName) -> ChResult<()> {
         self.check_serves(&alias)?;
         self.check_serves(&target)?;
-        if self.entries.contains_key(&alias) {
+        let alias_id = alias.interned();
+        if self.entries.contains_key(&alias_id) {
             return Err(ChError::AlreadyExists(alias.to_string()));
         }
-        if self.aliases.contains_key(&target) {
+        let target_id = target.interned();
+        if self.aliases.contains_key(&target_id) {
             return Err(ChError::BadName(format!(
                 "alias target {target} is itself an alias"
             )));
         }
-        self.aliases.insert(alias, target);
+        self.aliases.insert(alias_id, target_id);
         Ok(())
     }
 
     /// Reads one property of an entry, following aliases.
     pub fn lookup(&self, name: &ThreePartName, id: PropertyId) -> ChResult<Property> {
         self.check_serves(name)?;
-        let canonical = self.canonical(name);
+        let canonical = self.canonical_id(name.interned());
         let entry = self
             .entries
             .get(&canonical)
@@ -132,42 +159,51 @@ impl ChDb {
 
     /// Enumerates entry names whose *object* part matches `pattern`
     /// (a literal with an optional trailing `*` wildcard) in the given
-    /// domain. Aliases are not enumerated.
+    /// domain, in name order. Aliases are not enumerated.
     pub fn list(&self, domain: &str, organization: &str, pattern: &str) -> Vec<ThreePartName> {
         let matcher = |object: &str| match pattern.strip_suffix('*') {
             Some(prefix) => object.starts_with(&prefix.to_ascii_lowercase()),
             None => object == pattern.to_ascii_lowercase(),
         };
-        self.entries
+        let mut names: Vec<ThreePartName> = self
+            .entries
             .keys()
+            .map(|&id| resolve_tpn(id))
             .filter(|n| {
                 n.domain() == domain.to_ascii_lowercase()
                     && n.organization() == organization.to_ascii_lowercase()
                     && matcher(n.object())
             })
-            .cloned()
-            .collect()
+            .collect();
+        names.sort();
+        names
     }
 
     /// Reads a whole entry.
     pub fn entry(&self, name: &ThreePartName) -> ChResult<&Entry> {
         self.check_serves(name)?;
         self.entries
-            .get(name)
+            .get(&name.interned())
             .ok_or_else(|| ChError::NotFound(name.to_string()))
     }
 
-    /// All entries (for replication).
+    /// All entries (for replication), in name order.
     pub fn snapshot(&self) -> Vec<(ThreePartName, Entry)> {
-        self.entries
+        let mut entries: Vec<(ThreePartName, Entry)> = self
+            .entries
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+            .map(|(&k, v)| (resolve_tpn(k), v.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 
     /// Replaces contents from a snapshot (replica refresh).
     pub fn restore(&mut self, snapshot: Vec<(ThreePartName, Entry)>) {
-        self.entries = snapshot.into_iter().collect();
+        self.entries = snapshot
+            .into_iter()
+            .map(|(name, entry)| (name.interned(), entry))
+            .collect();
     }
 
     /// Number of entries.

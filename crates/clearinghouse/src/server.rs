@@ -43,6 +43,9 @@ pub const PROC_SNAPSHOT: u32 = 6;
 pub const PROC_ADD_ALIAS: u32 = 7;
 /// Procedure: enumerate entries by object-part pattern.
 pub const PROC_LIST: u32 = 8;
+/// Procedure: read the same item property for a run of names, returning
+/// the values of the longest prefix that exists.
+pub const PROC_LOOKUP_RUN: u32 = 9;
 
 /// A Clearinghouse server.
 pub struct ChServer {
@@ -202,6 +205,42 @@ impl RpcService for ChServer {
                 Ok(Value::List(
                     names.iter().map(|n| Value::str(n.to_string())).collect(),
                 ))
+            }
+            PROC_LOOKUP_RUN => {
+                // One RPC covers a run of entries: the round trip and
+                // auth are paid once, but every entry examined past the
+                // first is still a disk access.
+                let prop = PropertyId(args.u32_field("prop")?);
+                let names = args.field("names").and_then(Value::as_list)?;
+                let db = self.db.read();
+                let mut values = Vec::new();
+                let mut examined = 0usize;
+                for raw in names {
+                    let name = ThreePartName::parse(raw.as_str()?)
+                        .map_err(|e| RpcError::Service(e.to_string()))?;
+                    examined += 1;
+                    match db.lookup(&name, prop) {
+                        Ok(p) => values.push(p.as_item().cloned().map_err(ch_err)?),
+                        Err(ChError::NotFound(_)) => break,
+                        Err(e) => return Err(ch_err(e)),
+                    }
+                }
+                if examined > 1 {
+                    ctx.world
+                        .charge_ms(ctx.world.costs.ch_disk * (examined - 1) as f64);
+                }
+                ctx.world.trace(
+                    Some(ctx.host),
+                    TraceKind::NameService,
+                    format!(
+                        "{}: lookup run prop {} ({} of {} present)",
+                        self.name,
+                        prop.0,
+                        values.len(),
+                        names.len()
+                    ),
+                );
+                Ok(Value::List(values))
             }
             PROC_SNAPSHOT => {
                 let snapshot = self.db.read().snapshot();

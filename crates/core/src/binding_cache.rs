@@ -23,12 +23,11 @@
 //! The load engine enables it per instance via
 //! [`Hns::set_binding_cache`](crate::service::Hns::set_binding_cache).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use hrpc::HrpcBinding;
+use intern::NameId;
 use parking_lot::Mutex;
 use simnet::time::{SimDuration, SimTime};
 use simnet::world::World;
@@ -59,12 +58,14 @@ pub struct BindingCacheStats {
 
 /// A sharded cache of composed `FindNSM` results.
 ///
-/// Keys are `(query class, context)` — the individual name plays no
-/// part in the mapping walk, so all names in a context share one entry
-/// per query class.
+/// Keys are interned `(query class, context)` ids — the individual
+/// name plays no part in the mapping walk, so all names in a context
+/// share one entry per query class. Probing with [`NameId`]s keeps the
+/// warm path free of per-query key allocation: the seed keyed shards
+/// by `(String, String)` and cloned both strings on every probe.
 pub struct BindingCache {
     enabled: AtomicBool,
-    shards: Vec<Mutex<HashMap<(String, String), Entry>>>,
+    shards: Vec<Mutex<HashMap<(NameId, NameId), Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     expired: AtomicU64,
@@ -106,11 +107,9 @@ impl BindingCache {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    fn shard(&self, qc: &str, context: &str) -> &Mutex<HashMap<(String, String), Entry>> {
-        let mut hasher = DefaultHasher::new();
-        qc.hash(&mut hasher);
-        context.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARDS]
+    fn shard(&self, qc: NameId, context: NameId) -> &Mutex<HashMap<(NameId, NameId), Entry>> {
+        // Interned ids are dense; mixing the pair spreads shards evenly.
+        &self.shards[(qc.0 as usize ^ (context.0 as usize).rotate_left(7)) % SHARDS]
     }
 
     /// Probes for a live composed binding, charging one cache-probe
@@ -121,8 +120,9 @@ impl BindingCache {
         }
         world.charge_ms(world.costs.cache_probe);
         let now = world.now();
+        let (qc, context) = (intern::intern(qc), intern::intern(context));
         let shard = self.shard(qc, context).lock();
-        match shard.get(&(qc.to_string(), context.to_string())) {
+        match shard.get(&(qc, context)) {
             Some(entry) if entry.expires_at > now => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.binding)
@@ -152,8 +152,9 @@ impl BindingCache {
             return;
         }
         let expires_at = world.now() + SimDuration::from_ms(u64::from(min_ttl_secs) * 1000);
+        let (qc, context) = (intern::intern(qc), intern::intern(context));
         self.shard(qc, context).lock().insert(
-            (qc.to_string(), context.to_string()),
+            (qc, context),
             Entry {
                 binding,
                 expires_at,

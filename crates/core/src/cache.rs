@@ -38,6 +38,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
+use intern::NameId;
 use parking_lot::Mutex;
 use simnet::time::{SimDuration, SimTime};
 use simnet::world::World;
@@ -86,13 +87,44 @@ impl CacheMode {
 /// Meta-store mappings (context, NSM-name, NSM-info records) are keyed by
 /// their meta-zone domain name, so the zone-transfer preload path produces
 /// exactly the same keys as the demand-fetch path.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Keys carry interned [`NameId`]s rather than owned strings: a key is
+/// `Copy`, eight bytes, hashes as one or two `u32`s, and a million cached
+/// mappings share one stored copy of each distinct name. `Debug` resolves
+/// the ids so traces stay human-readable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetaKey {
     /// Mappings 1–5: a record set in the meta zone.
-    Meta(bindns::name::DomainName),
+    Meta(NameId),
     /// Mapping 6: a (name service, host name) → address result obtained
     /// via the linked host-address NSM.
-    HostAddr(String, String),
+    HostAddr(NameId, NameId),
+}
+
+impl MetaKey {
+    /// Keys a meta-zone record set by its domain name.
+    pub fn meta(name: &bindns::name::DomainName) -> MetaKey {
+        MetaKey::Meta(name.interned())
+    }
+
+    /// Keys a host-address result by `(name service, host name)`.
+    pub fn host_addr(ns: &str, host: &str) -> MetaKey {
+        MetaKey::HostAddr(intern::intern(ns), intern::intern(host))
+    }
+}
+
+impl std::fmt::Debug for MetaKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaKey::Meta(id) => write!(f, "Meta({:?})", &*intern::display(*id)),
+            MetaKey::HostAddr(ns, host) => write!(
+                f,
+                "HostAddr({:?}, {:?})",
+                &*intern::display(*ns),
+                &*intern::display(*host)
+            ),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -602,11 +634,11 @@ impl HnsCache {
                 Some(flight) => Some(Arc::clone(flight)),
                 None => {
                     let flight = Arc::new(Flight::new());
-                    flights.insert(key.clone(), Arc::clone(&flight));
+                    flights.insert(*key, Arc::clone(&flight));
                     drop(flights);
                     return FetchTicket::Leader(FlightGuard {
                         cache: self,
-                        key: key.clone(),
+                        key: *key,
                         flight,
                     });
                 }
@@ -752,7 +784,7 @@ mod tests {
     use super::*;
 
     fn key() -> MetaKey {
-        MetaKey::Meta(bindns::name::DomainName::parse("ctx.bind-uw.hns").expect("name"))
+        MetaKey::meta(&bindns::name::DomainName::parse("ctx.bind-uw.hns").expect("name"))
     }
 
     fn value() -> Value {
@@ -902,14 +934,14 @@ mod tests {
         let world = simnet::World::paper();
         let cache = HnsCache::new(CacheMode::Demarshalled);
         let dn = |s: &str| bindns::name::DomainName::parse(s).expect("name");
-        let k1 = MetaKey::Meta(dn("map.bind--hrpcbinding.hns"));
-        let k2 = MetaKey::Meta(dn("map.bind--hostaddress.hns"));
-        let k3 = MetaKey::Meta(dn("info.nsm-x.hns"));
-        let k4 = MetaKey::HostAddr("BIND".into(), "fiji".into());
-        cache.insert(&world, k1.clone(), &Value::str("a"), 1, 600);
-        cache.insert(&world, k2.clone(), &Value::str("b"), 1, 600);
-        cache.insert(&world, k3.clone(), &Value::str("c"), 1, 600);
-        cache.insert(&world, k4.clone(), &Value::str("d"), 1, 600);
+        let k1 = MetaKey::meta(&dn("map.bind--hrpcbinding.hns"));
+        let k2 = MetaKey::meta(&dn("map.bind--hostaddress.hns"));
+        let k3 = MetaKey::meta(&dn("info.nsm-x.hns"));
+        let k4 = MetaKey::host_addr("BIND", "fiji");
+        cache.insert(&world, k1, &Value::str("a"), 1, 600);
+        cache.insert(&world, k2, &Value::str("b"), 1, 600);
+        cache.insert(&world, k3, &Value::str("c"), 1, 600);
+        cache.insert(&world, k4, &Value::str("d"), 1, 600);
         assert_eq!(cache.get(&world, &k1), Some(Value::str("a")));
         assert_eq!(cache.get(&world, &k2), Some(Value::str("b")));
         assert_eq!(cache.get(&world, &k3), Some(Value::str("c")));

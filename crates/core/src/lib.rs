@@ -41,6 +41,7 @@ pub mod nsm;
 pub mod query;
 pub mod service;
 
+pub use intern;
 pub use simnet::obs;
 
 pub use binding_cache::{BindingCache, BindingCacheStats};
@@ -54,4 +55,4 @@ pub use meta::{ContextInfo, Fetched, MetaBatch, MetaStore, META_TTL};
 pub use name::{Context, HnsName, NameMapping};
 pub use nsm::{Nsm, NsmClient, NsmInfo, NsmService, SuiteTag, NSM_PROC_QUERY};
 pub use query::QueryClass;
-pub use service::{FindNsmReport, Hns, PreloadReport};
+pub use service::{FindNsmReport, Hns, PreloadMode, PreloadReport};

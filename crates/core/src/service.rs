@@ -67,6 +67,9 @@ pub struct Hns {
     /// [`FindNsmReport::stale_served`] marker (the cache keeps its own
     /// aggregate in `HnsCacheStats::stale_serves`).
     stale_serves: AtomicU64,
+    /// Meta-zone serial of the last successful preload; later preloads
+    /// ask for only the delta since it (IXFR).
+    preload_serial: parking_lot::Mutex<Option<u32>>,
 }
 
 /// Cached registry handles for the per-query metrics, resolved on first
@@ -114,6 +117,18 @@ pub struct FindNsmReport {
     pub took: SimDuration,
 }
 
+/// How a preload obtained its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreloadMode {
+    /// Full zone transfer (first preload, or the delta log was
+    /// truncated past our serial).
+    Full,
+    /// Incremental transfer: only names changed since our last preload.
+    Incremental,
+    /// Our copy was already current; nothing shipped.
+    Unchanged,
+}
+
 /// Result of a cache preload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PreloadReport {
@@ -123,6 +138,10 @@ pub struct PreloadReport {
     pub bytes: usize,
     /// Cache entries created.
     pub entries: usize,
+    /// How the data was obtained.
+    pub mode: PreloadMode,
+    /// Meta-zone serial this instance is now current to.
+    pub serial: u32,
 }
 
 impl Hns {
@@ -170,6 +189,7 @@ impl Hns {
             batching: AtomicBool::new(false),
             handles: HnsMetricHandles::default(),
             stale_serves: AtomicU64::new(0),
+            preload_serial: parking_lot::Mutex::new(None),
         }
     }
 
@@ -305,7 +325,7 @@ impl Hns {
             self.world().cache_outcome(CacheOutcome::Overlay);
             return Ok(fetched.clone());
         }
-        let cache_key = MetaKey::Meta(key.clone());
+        let cache_key = MetaKey::meta(key);
         // `lookup_or_fetch` loops through coalesced waits internally and
         // annotates the current span with the cache outcome.
         match self.cache.lookup_or_fetch(self.world(), &cache_key) {
@@ -460,7 +480,7 @@ impl Hns {
         host_context: &Context,
     ) -> HnsResult<(HostId, u32)> {
         self.world().charge_ms(self.world().costs.hns_bookkeeping);
-        let cache_key = MetaKey::HostAddr(host_ns.to_string(), host_name.to_string());
+        let cache_key = MetaKey::host_addr(host_ns, host_name);
         let _guard = match self.cache.lookup_or_fetch(self.world(), &cache_key) {
             LookupOrFetch::Hit {
                 value,
@@ -528,7 +548,7 @@ impl Hns {
         let mut overlay = BatchOverlay::new();
         if self
             .cache
-            .contains_live(self.world(), &MetaKey::Meta(ctx_key.clone()))
+            .contains_live(self.world(), &MetaKey::meta(&ctx_key))
         {
             return Ok(overlay);
         }
@@ -540,7 +560,7 @@ impl Hns {
             Some(fetched) => self.stash(&mut overlay, ctx_key, fetched),
             None => {
                 self.cache
-                    .insert_negative(self.world(), MetaKey::Meta(ctx_key));
+                    .insert_negative(self.world(), MetaKey::meta(&ctx_key));
             }
         }
         for (owner, fetched) in batch.additional {
@@ -554,7 +574,7 @@ impl Hns {
         let value = Value::List(fetched.value.iter().map(Value::str).collect());
         self.cache.insert(
             self.world(),
-            MetaKey::Meta(key.clone()),
+            MetaKey::meta(&key),
             &value,
             fetched.rrs,
             fetched.ttl_secs,
@@ -845,18 +865,75 @@ impl Hns {
     /// small amount of information (currently about 2KB) required to
     /// guarantee HNS cache hits."
     pub fn preload(&self) -> HnsResult<PreloadReport> {
-        let xfer = bindns::axfr::transfer_zone(
-            &self.net,
-            self.host,
-            &self.meta_binding,
-            self.meta.origin(),
-        )
-        .map_err(HnsError::Rpc)?;
-        // Group records by owner name, preserving owner and record order.
-        // An index map keeps the grouping linear in the zone size.
+        let last_serial = *self.preload_serial.lock();
+        let report = match last_serial {
+            // Warm instance: ask for only the delta since our serial.
+            // The server falls back to shipping the whole zone when its
+            // delta log is truncated past us.
+            Some(from) => {
+                let xfer = bindns::axfr::transfer_zone_incremental(
+                    &self.net,
+                    self.host,
+                    &self.meta_binding,
+                    self.meta.origin(),
+                    from,
+                )
+                .map_err(HnsError::Rpc)?;
+                let (mode, records) = match &xfer.contents {
+                    bindns::axfr::IxfrContents::Unchanged => (PreloadMode::Unchanged, &[][..]),
+                    bindns::axfr::IxfrContents::Incremental { records, .. } => {
+                        (PreloadMode::Incremental, records.as_slice())
+                    }
+                    bindns::axfr::IxfrContents::Full { records } => {
+                        (PreloadMode::Full, records.as_slice())
+                    }
+                };
+                let entries = self.preload_records(records)?;
+                PreloadReport {
+                    records: records.len(),
+                    bytes: xfer.size_bytes,
+                    entries,
+                    mode,
+                    serial: xfer.serial,
+                }
+            }
+            // Cold instance: full zone transfer.
+            None => {
+                let xfer = bindns::axfr::transfer_zone(
+                    &self.net,
+                    self.host,
+                    &self.meta_binding,
+                    self.meta.origin(),
+                )
+                .map_err(HnsError::Rpc)?;
+                let entries = self.preload_records(&xfer.records)?;
+                PreloadReport {
+                    records: xfer.records.len(),
+                    bytes: xfer.size_bytes,
+                    entries,
+                    mode: PreloadMode::Full,
+                    serial: xfer.serial,
+                }
+            }
+        };
+        *self.preload_serial.lock() = Some(report.serial);
+        let metrics = self.world().metrics();
+        match report.mode {
+            PreloadMode::Full => metrics.inc("hns_preload", "full_transfers"),
+            PreloadMode::Incremental => metrics.inc("hns_preload", "incremental_transfers"),
+            PreloadMode::Unchanged => metrics.inc("hns_preload", "unchanged_probes"),
+        }
+        metrics.add("hns_preload", "bytes_shipped", report.bytes as u64);
+        Ok(report)
+    }
+
+    /// Groups transferred meta records by owner name and seeds the cache.
+    /// Returns the number of cache entries created. Grouping preserves
+    /// owner and record order; an index map keeps it linear in the batch.
+    fn preload_records(&self, records: &[bindns::rr::ResourceRecord]) -> HnsResult<usize> {
         let mut grouped: Vec<(DomainName, Vec<String>, u32)> = Vec::new();
         let mut index: HashMap<DomainName, usize> = HashMap::new();
-        for rr in &xfer.records {
+        for rr in records {
             let payload = match &rr.rdata {
                 bindns::rr::RData::Opaque(bytes) => String::from_utf8(bytes.clone())
                     .map_err(|_| HnsError::BadMetaRecord("non-UTF-8 payload".into()))?,
@@ -879,13 +956,9 @@ impl Hns {
             let rrs = payloads.len();
             let value = Value::List(payloads.iter().map(Value::str).collect());
             self.cache
-                .preload_insert(self.world(), MetaKey::Meta(name), &value, rrs, ttl);
+                .preload_insert(self.world(), MetaKey::meta(&name), &value, rrs, ttl);
         }
-        Ok(PreloadReport {
-            records: xfer.records.len(),
-            bytes: xfer.size_bytes,
-            entries,
-        })
+        Ok(entries)
     }
 }
 

@@ -75,8 +75,8 @@ proptest! {
         let value = Value::List(payloads.iter().map(Value::str).collect());
         for mode in [CacheMode::Marshalled, CacheMode::Demarshalled] {
             let cache = HnsCache::new(mode);
-            let key = MetaKey::HostAddr("NS".into(), "host".into());
-            cache.insert(&world, key.clone(), &value, rrs, ttl);
+            let key = MetaKey::host_addr("NS", "host");
+            cache.insert(&world, key, &value, rrs, ttl);
             prop_assert_eq!(cache.get(&world, &key), Some(value.clone()));
         }
     }
@@ -87,8 +87,8 @@ proptest! {
         let value = Value::str("payload");
         let measure = |mode| {
             let cache = HnsCache::new(mode);
-            let key = MetaKey::HostAddr("NS".into(), "h".into());
-            cache.insert(&world, key.clone(), &value, rrs, 1000);
+            let key = MetaKey::host_addr("NS", "h");
+            cache.insert(&world, key, &value, rrs, 1000);
             let (_, took, _) = world.measure(|| cache.get(&world, &key));
             took.as_ms_f64()
         };
@@ -143,7 +143,7 @@ proptest! {
         use simnet::time::SimDuration;
         let world = simnet::World::paper();
         let cache = HnsCache::new(CacheMode::Demarshalled);
-        let key_of = |k: usize| MetaKey::HostAddr("NS".into(), format!("host-{k}"));
+        let key_of = |k: usize| MetaKey::host_addr("NS", &format!("host-{k}"));
         let mut model: std::collections::HashMap<usize, (u32, simnet::time::SimTime)> =
             std::collections::HashMap::new();
         for (op, k, v, long_ttl) in ops {

@@ -362,6 +362,37 @@ fn preload_from_minimal_meta_zone_works() {
 }
 
 #[test]
+fn warm_preload_ships_only_the_delta() {
+    let env = env();
+    let hns = make_hns(&env, env.client, CacheMode::Marshalled);
+    register_echo(&env, &hns);
+    let full = hns.preload().expect("cold preload");
+    assert_eq!(full.mode, hns_core::PreloadMode::Full);
+    assert!(full.bytes > 0);
+    // Nothing changed since: the probe ships zero bytes.
+    let probe = hns.preload().expect("unchanged probe");
+    assert_eq!(probe.mode, hns_core::PreloadMode::Unchanged);
+    assert_eq!(probe.bytes, 0);
+    assert_eq!(probe.entries, 0);
+    assert_eq!(probe.serial, full.serial);
+    // One small meta update: the next preload is incremental and ships
+    // strictly fewer bytes than the cold full transfer did.
+    let ctx = Context::new("late-ctx").expect("ctx");
+    hns.register_context(&ctx, "LateNS", &NameMapping::Identity)
+        .expect("ctx");
+    let incr = hns.preload().expect("incremental preload");
+    assert_eq!(incr.mode, hns_core::PreloadMode::Incremental);
+    assert!(incr.serial > full.serial);
+    assert!(
+        incr.bytes > 0 && incr.bytes < full.bytes,
+        "incremental {} vs full {}",
+        incr.bytes,
+        full.bytes
+    );
+    assert_eq!(incr.entries, 1, "only the new context record re-seeds");
+}
+
+#[test]
 fn cache_mode_switches_clear_state() {
     let env = env();
     let hns = make_hns(&env, env.client, CacheMode::Marshalled);

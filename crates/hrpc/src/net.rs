@@ -350,10 +350,13 @@ impl RpcNet {
         args: &Value,
     ) -> RpcResult<Value> {
         let components = binding.components;
-        // Data flows through the real wire representation: encode at the
-        // caller, decode at the server, and the same for the reply.
-        let req_bytes = components.data_rep.encode(args)?;
-        let decoded_args = components.data_rep.decode(&req_bytes)?;
+        // Cost accounting follows the real wire representation without
+        // materializing it: the self-describing encodings round-trip
+        // losslessly (the wire crate's proptests pin this), so the
+        // simulated delivery path computes the exact datagram length for
+        // charging and hands the caller's value straight to the server
+        // instead of allocating an encode/decode copy per datagram.
+        let req_len = components.data_rep.encoded_len(args)?;
 
         let faults = self.world.faults();
 
@@ -379,13 +382,13 @@ impl RpcNet {
             }
             self.world.charge_ms(self.world.costs.local_call);
             self.world.count_local_call();
-            let reply = self.serve(caller, binding, proc_id, &decoded_args)?;
-            let reply_bytes = components.data_rep.encode(&reply)?;
-            return Ok(components.data_rep.decode(&reply_bytes)?);
+            let reply = self.serve(caller, binding, proc_id, args)?;
+            components.data_rep.encoded_len(&reply)?;
+            return Ok(reply);
         }
 
         let rtt = self.world.costs.rpc_rtt(components.suite_kind());
-        let per_req = rtt + self.world.costs.per_kb * req_bytes.len() as f64 / 1024.0;
+        let per_req = rtt + self.world.costs.per_kb * req_len as f64 / 1024.0;
         let datagram = components.transport.is_datagram();
         let max_attempts = if datagram {
             components.control.max_attempts()
@@ -415,7 +418,7 @@ impl RpcNet {
         let result = loop {
             attempts += 1;
             self.world.charge_ms(per_req);
-            self.world.count_remote_call(req_bytes.len() as u64);
+            self.world.count_remote_call(req_len as u64);
 
             // Fault legs: a crashed or partitioned target answers
             // nothing, so the attempt is spent and the caller backs off
@@ -503,11 +506,11 @@ impl RpcNet {
                     );
                     Ok(cached)
                 } else {
-                    self.serve(caller, binding, proc_id, &decoded_args)
+                    self.serve(caller, binding, proc_id, args)
                         .inspect(|reply| self.replies.insert(key, reply.clone()))
                 }
             } else {
-                self.serve(caller, binding, proc_id, &decoded_args)
+                self.serve(caller, binding, proc_id, args)
             };
             let reply = match served {
                 Ok(reply) => reply,
@@ -543,12 +546,16 @@ impl RpcNet {
                     components.suite_kind()
                 ),
             );
-            break components.data_rep.encode(&reply).map_err(RpcError::from);
+            break components
+                .data_rep
+                .encoded_len(&reply)
+                .map(|len| (reply, len))
+                .map_err(RpcError::from);
         };
-        let result = result.and_then(|reply_bytes| {
+        let result = result.map(|(reply, reply_len)| {
             self.world
-                .charge_ms(self.world.costs.per_kb * reply_bytes.len() as f64 / 1024.0);
-            Ok(components.data_rep.decode(&reply_bytes)?)
+                .charge_ms(self.world.costs.per_kb * reply_len as f64 / 1024.0);
+            reply
         });
 
         span.add_round_trips(u64::from(attempts));

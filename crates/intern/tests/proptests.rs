@@ -1,0 +1,80 @@
+//! Property-based coverage of the interner contract: id equality is
+//! string equality, resolution round-trips, and ids stay stable under
+//! concurrent interning of overlapping sets from many threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use intern::{Interner, NameId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn intern_equal_iff_strings_equal(
+        a in "[a-z0-9._-]{0,24}",
+        b in "[a-z0-9._-]{0,24}",
+    ) {
+        let i = Interner::new();
+        let ia = i.intern(&a);
+        let ib = i.intern(&b);
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    #[test]
+    fn resolve_round_trips(names in proptest::collection::vec("[a-zA-Z0-9._:-]{0,32}", 0..40)) {
+        let i = Interner::new();
+        let ids: Vec<NameId> = names.iter().map(|n| i.intern(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            prop_assert_eq!(i.resolve(*id).as_deref(), Some(name.as_str()));
+            prop_assert_eq!(i.intern(name), *id);
+        }
+        // Dense: distinct strings get distinct, in-range ids.
+        let distinct: std::collections::BTreeSet<&String> = names.iter().collect();
+        prop_assert_eq!(i.len(), distinct.len());
+        for id in &ids {
+            prop_assert!((id.0 as usize) < i.len());
+        }
+    }
+
+    #[test]
+    fn ids_stable_under_concurrent_interning(seed in 0u64..1000) {
+        // 8 threads intern overlapping slices of one name pool; every
+        // thread must observe the same id for the same string, and the
+        // final table must resolve consistently.
+        let pool: Vec<String> = (0..96)
+            .map(|k| format!("name-{}-{}", seed, k % 48))
+            .collect();
+        let interner = Arc::new(Interner::new());
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let interner = Arc::clone(&interner);
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut seen: HashMap<String, NameId> = HashMap::new();
+                for (k, name) in pool.iter().enumerate() {
+                    if (k + t) % 3 == 0 {
+                        continue; // overlapping, not identical, sets
+                    }
+                    let id = interner.intern(name);
+                    if let Some(prev) = seen.insert(name.clone(), id) {
+                        assert_eq!(prev, id, "id changed within a thread");
+                    }
+                }
+                seen
+            }));
+        }
+        let maps: Vec<HashMap<String, NameId>> =
+            handles.into_iter().map(|h| h.join().expect("thread")).collect();
+        let mut merged: HashMap<&String, NameId> = HashMap::new();
+        for map in &maps {
+            for (name, id) in map {
+                if let Some(prev) = merged.insert(name, *id) {
+                    prop_assert_eq!(prev, *id, "threads disagree on {}", name);
+                }
+                prop_assert_eq!(interner.resolve(*id).as_deref(), Some(name.as_str()));
+            }
+        }
+    }
+}

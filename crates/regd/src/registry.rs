@@ -19,10 +19,11 @@
 //!
 //! # Resolution and the collapse cache
 //!
-//! A cold resolve reads the base record and follows links `1, 2, …`
-//! until one is missing — `depth + 2` Clearinghouse reads for a chain
-//! of `depth` links (the trailing miss confirms the head). The result
-//! is cached as the *collapsed head*. A warm resolve issues exactly
+//! A cold resolve reads the base record and walks the chain in
+//! coalesced runs of [`LINK_BATCH`] links per Clearinghouse RPC —
+//! `1 + ceil((depth + 1) / LINK_BATCH)` reads for a chain of `depth`
+//! links (the short final run confirms the head). The result is cached
+//! as the *collapsed head*. A warm resolve issues exactly
 //! **one** read: it probes link `depth + 1`. A miss revalidates the
 //! cached head in a single hop regardless of chain length; a hit means
 //! some other frontend extended the chain, and the resolver walks
@@ -66,6 +67,10 @@ pub const PROP_REG_LINK: PropertyId = PropertyId(71);
 /// Longest accepted registered-name label (the Clearinghouse caps
 /// object parts at 64 bytes and we prepend `reg--`/`--t<seq>`).
 pub const MAX_NAME_LEN: usize = 40;
+
+/// Chain links requested per coalesced Clearinghouse read during a
+/// walk ([`Registry::resolve`] cold path and chain extensions).
+const LINK_BATCH: u32 = 16;
 
 /// The base ownership record stored at `reg--<name>`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -292,15 +297,32 @@ impl Registry {
         Ok(())
     }
 
-    /// Walks links `from_seq, from_seq + 1, …` until one is missing.
+    /// Walks links `from_seq, from_seq + 1, …` until one is missing,
+    /// fetching [`LINK_BATCH`] links per coalesced Clearinghouse read:
+    /// a cold walk over a 64-link chain is five run RPCs, not
+    /// sixty-five per-link lookups. A run that comes back short ends
+    /// the walk — the server stopped at the first missing link.
     fn walk_links(&self, name: &str, from_seq: u32, into: &mut Vec<TransferLink>) -> RegResult<()> {
         let mut seq = from_seq;
-        while let Some(link) = self.read_link(name, seq)? {
-            self.verify_link(name, &link)?;
-            into.push(link);
-            seq += 1;
+        loop {
+            let run: Vec<ThreePartName> = (seq..seq + LINK_BATCH)
+                .map(|s| self.link_tpn(name, s))
+                .collect::<RegResult<_>>()?;
+            let values = self
+                .ch
+                .lookup_item_run(&run, PROP_REG_LINK)
+                .map_err(RegError::Rpc)?;
+            let got = values.len() as u32;
+            for v in &values {
+                let link = TransferLink::from_value(v)?;
+                self.verify_link(name, &link)?;
+                into.push(link);
+            }
+            if got < LINK_BATCH {
+                return Ok(());
+            }
+            seq += LINK_BATCH;
         }
-        Ok(())
     }
 
     fn cache_insert(&self, name: &str, head: CollapsedHead) {
@@ -342,11 +364,12 @@ impl Registry {
 
     /// Resolves a name to its current holder and binding.
     ///
-    /// Cold: one base read plus a walk over every link (counted in
-    /// `regd/chain_walks`). Warm: exactly one Clearinghouse read — the
-    /// probe of link `depth + 1` — however long the chain is
-    /// (`regd/collapse_hits`). A probe that *hits* means the chain grew
-    /// under us; the walk resumes from there (`regd/chain_extends`).
+    /// Cold: one base read plus one coalesced run read per
+    /// [`LINK_BATCH`] links (counted in `regd/chain_walks`). Warm:
+    /// exactly one Clearinghouse read — the probe of link `depth + 1` —
+    /// however long the chain is (`regd/collapse_hits`). A probe that
+    /// *hits* means the chain grew under us; the walk resumes from
+    /// there (`regd/chain_extends`).
     pub fn resolve(&self, name: &str) -> RegResult<Resolution> {
         Self::check_name(name)?;
         self.bump(&self.metrics.resolves, "resolves");
@@ -829,7 +852,7 @@ mod tests {
         assert_eq!(r2.owner, "carol");
         assert_eq!(r2.depth, 2);
         assert!(r2.walked, "extension is a (partial) walk");
-        assert_eq!(probes, 3, "probe-hit + link 2 + trailing miss");
+        assert_eq!(probes, 2, "probe-hit + one coalesced run (link 2 + miss)");
 
         // And the refreshed head collapses again.
         let r3 = reg.resolve("svc").expect("re-collapsed");

@@ -29,8 +29,9 @@ fn a_64_link_chain_collapses_to_one_hop() {
     }
 
     // A different frontend with a cold collapse cache: the first
-    // resolution walks the whole chain — the base record, all 64
-    // links, and the trailing miss that finds the head — exactly once.
+    // resolution walks the whole chain exactly once — the base record,
+    // then the 64 links plus the trailing miss fetched in coalesced
+    // runs of 16 links per Clearinghouse RPC.
     let reader = rtb.reader(rtb.tb.hosts.client, 65);
     let world = &rtb.tb.world;
     let walks_before = world
@@ -49,7 +50,10 @@ fn a_64_link_chain_collapses_to_one_hop() {
     assert_eq!(cold.owner, owner_name(64));
     assert_eq!(cold.depth, 64);
     assert!(cold.walked);
-    assert_eq!(cold_reads, 66, "base + 64 links + trailing miss");
+    assert_eq!(
+        cold_reads, 6,
+        "base + 5 coalesced runs (4 full runs of 16 + the short run that finds the miss)"
+    );
     assert_eq!(walks - walks_before, 1);
 
     // Every subsequent resolution is a single-hop collapse hit,

@@ -86,6 +86,53 @@ pub fn encode_into(value: &Value, out: &mut Vec<u8>) -> WireResult<()> {
     Ok(())
 }
 
+/// Exact length of [`encode`]'s output for `value`, without allocating.
+///
+/// Performs the same length validation as encoding, so it fails with
+/// [`WireError::Oversize`] exactly when [`encode`] would.
+pub fn encoded_len(value: &Value) -> WireResult<usize> {
+    Ok(match value {
+        Value::Void => 2,
+        Value::Bool(_) => 4,
+        Value::U32(_) | Value::I32(_) => 6,
+        Value::U64(_) => 10,
+        Value::Str(s) => 2 + opaque_len(s.len())?,
+        Value::Bytes(b) => 2 + opaque_len(b.len())?,
+        Value::List(items) => {
+            check_len(items.len())?;
+            let mut total = 4;
+            for item in items {
+                total += encoded_len(item)?;
+            }
+            total
+        }
+        Value::Struct(fields) => {
+            check_len(fields.len())?;
+            let mut total = 4;
+            for (name, v) in fields {
+                total += opaque_len(name.len())? + encoded_len(v)?;
+            }
+            total
+        }
+        Value::Opt(inner) => match inner {
+            None => 4,
+            Some(v) => 4 + encoded_len(v)?,
+        },
+    })
+}
+
+fn check_len(len: usize) -> WireResult<()> {
+    if len > MAX_LEN {
+        return Err(WireError::Oversize(len));
+    }
+    Ok(())
+}
+
+fn opaque_len(len: usize) -> WireResult<usize> {
+    check_len(len)?;
+    Ok(2 + len + len % 2)
+}
+
 /// Decodes a single value, requiring full consumption of the input.
 pub fn decode(bytes: &[u8]) -> WireResult<Value> {
     let mut cur = Cursor::new(bytes);
@@ -227,6 +274,7 @@ mod tests {
         let bytes = encode(v).expect("encode");
         let back = decode(&bytes).expect("decode");
         assert_eq!(&back, v);
+        assert_eq!(encoded_len(v).expect("len"), bytes.len());
     }
 
     #[test]
@@ -260,6 +308,7 @@ mod tests {
     fn oversize_string_rejected() {
         let v = Value::str("x".repeat(MAX_LEN + 1));
         assert_eq!(encode(&v), Err(WireError::Oversize(MAX_LEN + 1)));
+        assert_eq!(encoded_len(&v), Err(WireError::Oversize(MAX_LEN + 1)));
     }
 
     #[test]

@@ -31,6 +31,15 @@ impl WireFormat {
         }
     }
 
+    /// Exact encoded length of `v` under this representation, without
+    /// allocating the datagram. Fails exactly when `encode` would.
+    pub fn encoded_len(self, v: &Value) -> WireResult<usize> {
+        match self {
+            WireFormat::Xdr => xdr::encoded_len(v),
+            WireFormat::Courier => courier::encoded_len(v),
+        }
+    }
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {

@@ -87,6 +87,52 @@ pub fn encode_into(value: &Value, out: &mut Vec<u8>) -> WireResult<()> {
     Ok(())
 }
 
+/// Exact length of [`encode`]'s output for `value`, without allocating.
+///
+/// Performs the same length validation as encoding, so it fails with
+/// [`WireError::Oversize`] exactly when [`encode`] would.
+pub fn encoded_len(value: &Value) -> WireResult<usize> {
+    Ok(match value {
+        Value::Void => 4,
+        Value::Bool(_) | Value::U32(_) | Value::I32(_) => 8,
+        Value::U64(_) => 12,
+        Value::Str(s) => 4 + opaque_len(s.len())?,
+        Value::Bytes(b) => 4 + opaque_len(b.len())?,
+        Value::List(items) => {
+            check_len(items.len())?;
+            let mut total = 8;
+            for item in items {
+                total += encoded_len(item)?;
+            }
+            total
+        }
+        Value::Struct(fields) => {
+            check_len(fields.len())?;
+            let mut total = 8;
+            for (name, v) in fields {
+                total += opaque_len(name.len())? + encoded_len(v)?;
+            }
+            total
+        }
+        Value::Opt(inner) => match inner {
+            None => 8,
+            Some(v) => 8 + encoded_len(v)?,
+        },
+    })
+}
+
+fn check_len(len: usize) -> WireResult<()> {
+    if len > MAX_LEN {
+        return Err(WireError::Oversize(len));
+    }
+    Ok(())
+}
+
+fn opaque_len(len: usize) -> WireResult<usize> {
+    check_len(len)?;
+    Ok(4 + len + (4 - len % 4) % 4)
+}
+
 /// Decodes a single value, requiring the input to be fully consumed.
 pub fn decode(bytes: &[u8]) -> WireResult<Value> {
     let mut cur = Cursor::new(bytes);
@@ -227,6 +273,7 @@ mod tests {
         let bytes = encode(v).expect("encode");
         let back = decode(&bytes).expect("decode");
         assert_eq!(&back, v);
+        assert_eq!(encoded_len(v).expect("len"), bytes.len());
     }
 
     #[test]

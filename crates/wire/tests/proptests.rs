@@ -126,4 +126,14 @@ proptest! {
             prop_assert_eq!(fmt.decode(&bytes).expect("decode"), v.clone());
         }
     }
+
+    #[test]
+    fn encoded_len_matches_encode(v in arb_value()) {
+        // The simulated delivery path charges on `encoded_len` instead of
+        // materializing the datagram, so the two must agree exactly.
+        for fmt in [WireFormat::Xdr, WireFormat::Courier] {
+            let bytes = fmt.encode(&v).expect("encode");
+            prop_assert_eq!(fmt.encoded_len(&v).expect("len"), bytes.len(), "{}", fmt);
+        }
+    }
 }

@@ -55,7 +55,7 @@ fn concurrent_misses_coalesce_to_one_fetch() {
     const THREADS: usize = 8;
     let world = hns_repro::simnet::World::paper();
     let cache = Arc::new(HnsCache::new(CacheMode::Demarshalled));
-    let key = MetaKey::HostAddr("BIND".into(), "fiji".into());
+    let key = MetaKey::host_addr("BIND", "fiji");
     let fetches = Arc::new(AtomicU64::new(0));
     let barrier = Arc::new(Barrier::new(THREADS));
 
@@ -63,7 +63,6 @@ fn concurrent_misses_coalesce_to_one_fetch() {
     for _ in 0..THREADS {
         let world = Arc::clone(&world);
         let cache = Arc::clone(&cache);
-        let key = key.clone();
         let fetches = Arc::clone(&fetches);
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
@@ -79,7 +78,7 @@ fn concurrent_misses_coalesce_to_one_fetch() {
                         fetches.fetch_add(1, Ordering::SeqCst);
                         // Simulate remote latency so followers really queue.
                         std::thread::sleep(std::time::Duration::from_millis(20));
-                        cache.insert(&world, key.clone(), &Value::U32(7), 1, 600);
+                        cache.insert(&world, key, &Value::U32(7), 1, 600);
                         return Value::U32(7);
                     }
                     FetchTicket::Coalesced => continue,
@@ -147,7 +146,7 @@ fn concurrent_hits_and_misses_keep_stats_consistent() {
         let cache = Arc::clone(&cache);
         handles.push(std::thread::spawn(move || {
             for k in 0..KEYS {
-                let key = MetaKey::HostAddr(format!("ns-{t}"), format!("host-{k}"));
+                let key = MetaKey::host_addr(&format!("ns-{t}"), &format!("host-{k}"));
                 for round in 0..ROUNDS {
                     match cache.lookup(&world, &key) {
                         CacheLookup::Hit { value, .. } => {
@@ -156,13 +155,7 @@ fn concurrent_hits_and_misses_keep_stats_consistent() {
                         }
                         CacheLookup::Miss => {
                             assert_eq!(round, 0, "only the first probe may miss");
-                            cache.insert(
-                                &world,
-                                key.clone(),
-                                &Value::U32((t * KEYS + k) as u32),
-                                1,
-                                600,
-                            );
+                            cache.insert(&world, key, &Value::U32((t * KEYS + k) as u32), 1, 600);
                         }
                         CacheLookup::NegativeHit => panic!("no negatives inserted"),
                     }

@@ -134,8 +134,8 @@ proptest! {
         use hns_repro::hns_core::cache::{CacheMode, HnsCache, MetaKey};
         let world = hns_repro::simnet::World::paper();
         let cache = HnsCache::new(CacheMode::Demarshalled);
-        let key = MetaKey::HostAddr("BIND".into(), "h".into());
-        cache.insert(&world, key.clone(), &wire::Value::U32(1), 1, ttl);
+        let key = MetaKey::host_addr("BIND", "h");
+        cache.insert(&world, key, &wire::Value::U32(1), 1, ttl);
         world.charge_ms(wait_ms as f64);
         let hit = cache.get(&world, &key).is_some();
         let expired = wait_ms >= u64::from(ttl) * 1000;
