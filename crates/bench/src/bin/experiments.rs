@@ -17,6 +17,8 @@
 //! experiments loadgen --write-frac 0.3 --transfer-frac 0.25
 //! experiments scale --scale-names 10000,100000,1000000 --out BENCH_scale.json
 //! experiments validate FILE...    # auto-detect and validate any JSON export
+//! experiments fuzz --iters 5000 --seed 0   # conformance fuzz smoke
+//! experiments fuzz --regen-corpus          # rewrite the golden wire corpus
 //! ```
 //!
 //! Experiment ids: `table31 table32 overhead comparison preload eq1
@@ -68,9 +70,24 @@
 //! exiting 1 on the first malformed file. The older `--validate-trace` / `--validate-load`
 //! / `--validate-chaos FILE` flags are thin aliases that additionally pin
 //! the expected schema.
+//!
+//! `fuzz` is the hermetic conformance harness (see TESTING.md): it
+//! verifies the committed golden wire corpus against the encoders, then
+//! runs the seeded mutation fuzzer for `--iters` iterations (default
+//! 5000) under the shared `--seed`, exiting 1 on corpus drift or any
+//! property violation (panic, allocation over budget, or a decode→
+//! encode→decode mismatch). `--regen-corpus` rewrites the corpus files
+//! under `crates/conformance/corpus/` from the encoders first — the
+//! documented path for landing an intentional wire-format change.
 
 use hns_bench::experiments as exp;
 use hns_bench::loadgen;
+
+// The conformance fuzzer's allocation-budget property only bites when a
+// counting allocator is installed; the negligible bookkeeping cost does
+// not affect the virtual-time experiment outputs.
+#[global_allocator]
+static ALLOC: conformance::alloc::CountingAlloc = conformance::alloc::CountingAlloc;
 
 fn run_one(id: &str) -> Result<String, String> {
     let out = match id {
@@ -216,6 +233,12 @@ fn main() {
     let mut register_config = exp::register::RegisterConfig::default();
     let mut scale = false;
     let mut scale_config = exp::scale::ScaleConfig::default();
+    let mut fuzz = false;
+    let mut fuzz_config = conformance::fuzz::FuzzConfig {
+        iters: 5_000,
+        seed: 0,
+    };
+    let mut regen_corpus = false;
     let mut chaos_validate_inline = false;
     let mut timeline_out: Option<String> = None;
     let mut timeline_window_ms: u64 = exp::timeline::DEFAULT_WINDOW_MS;
@@ -231,7 +254,19 @@ fn main() {
             "chaos" => chaos = true,
             "register" => register = true,
             "scale" => scale = true,
+            "fuzz" => fuzz = true,
             "validate" => validate_cmd = true,
+            "--iters" => {
+                fuzz_config.iters = parse_or_die("--iters", it.next());
+                if fuzz_config.iters == 0 {
+                    eprintln!("error: --iters must be positive");
+                    std::process::exit(1);
+                }
+            }
+            "--regen-corpus" => {
+                fuzz = true;
+                regen_corpus = true;
+            }
             "--scale-names" => {
                 let csv: String = parse_or_die("--scale-names", it.next());
                 scale_config.names = csv
@@ -367,6 +402,7 @@ fn main() {
                 chaos_seed = load_config.seed;
                 register_config.seed = load_config.seed;
                 scale_config.seed = load_config.seed;
+                fuzz_config.seed = load_config.seed;
             }
             "--out" => out = Some(parse_or_die("--out", it.next())),
             "--validate-load" => validations.push((
@@ -413,7 +449,8 @@ fn main() {
         std::process::exit(i32::from(failed));
     }
 
-    let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos || register || scale) {
+    let ids: Vec<&str> = if ids.is_empty() && (trace || load || chaos || register || scale || fuzz)
+    {
         Vec::new()
     } else if ids.is_empty() || ids.contains(&"all") {
         ALL.to_vec()
@@ -541,6 +578,40 @@ fn main() {
             } else {
                 println!("scale JSON written to {path}");
             }
+        }
+    }
+    if fuzz {
+        println!("=== conformance: fuzz ===");
+        if regen_corpus {
+            match conformance::corpus::regenerate() {
+                Ok(changed) if changed.is_empty() => {
+                    println!("corpus already canonical; nothing rewritten");
+                }
+                Ok(changed) => {
+                    println!("corpus regenerated; {} file(s) changed:", changed.len());
+                    for f in changed {
+                        println!("  {f}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: corpus regeneration failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+        match conformance::corpus::check() {
+            Ok(()) => println!("golden corpus: canonical"),
+            Err(problems) => {
+                for p in &problems {
+                    eprintln!("error: {p}");
+                }
+                failed = true;
+            }
+        }
+        let report = conformance::fuzz::run(fuzz_config);
+        println!("{}", report.render());
+        if !report.ok() {
+            failed = true;
         }
     }
     if trace {

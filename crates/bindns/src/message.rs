@@ -426,4 +426,19 @@ mod tests {
         assert!(Answer::from_fast_bytes(&[]).is_err());
         assert!(Answer::from_fast_bytes(&[99, 0, 0]).is_err());
     }
+
+    #[test]
+    fn fast_answer_every_prefix_is_a_typed_error() {
+        // No prefix of a valid fast answer may decode (the format has no
+        // self-delimiting frames) — and none may panic or produce garbage.
+        let a = sample_answer(3);
+        let bytes = a.to_fast_bytes().expect("fast encode");
+        for cut in 0..bytes.len() {
+            assert!(
+                Answer::from_fast_bytes(&bytes[..cut]).is_err(),
+                "cut {cut} accepted"
+            );
+        }
+        assert_eq!(Answer::from_fast_bytes(&bytes).expect("full decode"), a);
+    }
 }

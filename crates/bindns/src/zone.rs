@@ -684,6 +684,32 @@ mod tests {
     }
 
     #[test]
+    fn delta_floor_boundary_is_exact() {
+        let mut z = zone();
+        for i in 0..(DELTA_LOG_CAP + 10) {
+            z.add(ResourceRecord::txt(
+                name(&format!("n{i}.cs.washington.edu")),
+                60,
+                format!("v{i}"),
+            ))
+            .expect("add");
+        }
+        // The log retains the newest DELTA_LOG_CAP serials; the floor is
+        // the serial of the newest *dropped* entry, one below the oldest
+        // retained. Incremental service must flip to full fallback at
+        // exactly that serial, not one early or one late.
+        let floor = z.serial() - DELTA_LOG_CAP as u32;
+        let at_floor = z
+            .deltas_since(floor)
+            .expect("floor serial is still served incrementally");
+        assert_eq!(at_floor.len(), DELTA_LOG_CAP, "every retained change");
+        assert!(
+            z.deltas_since(floor - 1).is_none(),
+            "one serial past the log forces full fallback"
+        );
+    }
+
+    #[test]
     fn records_at_returns_all_types_at_a_name() {
         let mut z = zone();
         let n = name("multi.cs.washington.edu");

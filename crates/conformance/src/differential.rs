@@ -1,0 +1,288 @@
+//! Differential path pinning: every route to a binding must produce the
+//! same bytes.
+//!
+//! The repository keeps growing faster `FindNSM` paths (MQUERY batching,
+//! the composed `BindingCache`, serve-stale fallbacks, NSM and
+//! Clearinghouse failover). The paper's correctness claim is that these
+//! are *transparent* optimisations — a client cannot tell which path
+//! answered. This module makes that claim executable: for a seeded
+//! world, run the same query mix down every path and assert the
+//! XDR-encoded results are byte-identical, per seed, across a seed
+//! sweep. The seed perturbs query order and fault timing, so a path
+//! that is only accidentally equivalent under one schedule gets caught.
+
+use std::sync::Arc;
+
+use clearinghouse::property::PROP_ADDRESS;
+use clearinghouse::replication::ChCluster;
+use clearinghouse::{deploy as deploy_ch, ChClient, ChDb, ChServer, ThreePartName};
+use hns_core::cache::CacheMode;
+use hns_core::colocation::HnsHandle;
+use hns_core::name::HnsName;
+use hns_core::query::QueryClass;
+use hrpc::HrpcBinding;
+use nsms::harness::{Testbed, DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM};
+use nsms::nsm_cache::NsmCacheForm;
+use nsms::Importer;
+use simnet::faults::FaultPlan;
+use simnet::rng::DetRng;
+use simnet::time::SimDuration;
+
+/// The canonical byte form of a binding for comparison: its XDR-encoded
+/// wire value, the exact representation a remote client receives.
+pub fn binding_bytes(binding: &HrpcBinding) -> Vec<u8> {
+    wire::xdr::encode(&binding.to_value()).expect("binding encodes")
+}
+
+/// Summary of one seeded differential run (all assertions passed).
+#[derive(Debug)]
+pub struct SeedSummary {
+    /// The seed.
+    pub seed: u64,
+    /// Targets compared across the three FindNSM paths.
+    pub targets: usize,
+    /// Fault scenarios pinned (serve-stale, NSM failover, ChClient
+    /// failover).
+    pub fault_scenarios: usize,
+}
+
+/// The query targets every path must agree on: the four remotely
+/// deployed query classes, across both name services. (Host-address
+/// NSMs are linked locally in the testbed and have no remote binding,
+/// so `FindNSM` cannot designate them by design.)
+fn targets(tb: &Testbed) -> Vec<(QueryClass, HnsName, &'static str)> {
+    let n = |ctx: hns_core::name::Context, s: &str| HnsName::new(ctx, s).expect("target name");
+    vec![
+        (
+            QueryClass::hrpc_binding(),
+            n(tb.ctx_bind(), "fiji.cs.washington.edu"),
+            "binding/bind",
+        ),
+        (
+            QueryClass::hrpc_binding(),
+            n(tb.ctx_ch(), "printserver:cs:uw"),
+            "binding/ch",
+        ),
+        (
+            QueryClass::mailbox_location(),
+            n(tb.ctx_bind(), "alice.cs.washington.edu"),
+            "mailbox/bind",
+        ),
+        (
+            QueryClass::mailbox_location(),
+            n(tb.ctx_ch(), "bob:cs:uw"),
+            "mailbox/ch",
+        ),
+        (
+            QueryClass::file_location(),
+            n(tb.ctx_bind(), "sources.cs.washington.edu"),
+            "file/bind",
+        ),
+        (
+            QueryClass::file_location(),
+            n(tb.ctx_ch(), "designs:cs:uw"),
+            "file/ch",
+        ),
+        (
+            QueryClass::user_info(),
+            n(tb.ctx_bind(), "mfs.cs.washington.edu"),
+            "user/bind",
+        ),
+        (
+            QueryClass::user_info(),
+            n(tb.ctx_ch(), "bob:cs:uw"),
+            "user/ch",
+        ),
+    ]
+}
+
+fn shuffle<T>(rng: &mut DetRng, items: &mut [T]) {
+    // Fisher–Yates; DetRng has no shuffle of its own.
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Part A: sequential vs MQUERY-batched vs composed-BindingCache
+/// `FindNSM`, compared target by target in seed-shuffled order.
+fn pin_findnsm_paths(tb: &Testbed, rng: &mut DetRng, seed: u64) -> usize {
+    let sequential = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    sequential.set_batching(false);
+    sequential.set_binding_cache(false);
+    let batched = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    batched.set_batching(true);
+    batched.set_binding_cache(false);
+    let composed = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    composed.set_batching(true);
+    composed.set_binding_cache(true);
+
+    let mut targets = targets(tb);
+    shuffle(rng, &mut targets);
+    for (qc, name, label) in &targets {
+        let seq = binding_bytes(&sequential.find_nsm(qc, name).expect("sequential FindNSM"));
+        let bat = binding_bytes(&batched.find_nsm(qc, name).expect("batched FindNSM"));
+        assert_eq!(
+            seq, bat,
+            "seed {seed}: batched FindNSM diverged from sequential on {label}"
+        );
+        let com = binding_bytes(&composed.find_nsm(qc, name).expect("composed FindNSM"));
+        assert_eq!(
+            seq, com,
+            "seed {seed}: composed FindNSM diverged from sequential on {label}"
+        );
+        // Second query hits the composed BindingCache; the hit must be
+        // indistinguishable from the miss.
+        let com_cached = binding_bytes(&composed.find_nsm(qc, name).expect("cached FindNSM"));
+        assert_eq!(
+            com, com_cached,
+            "seed {seed}: BindingCache hit diverged from its own miss on {label}"
+        );
+    }
+    targets.len()
+}
+
+/// Part B: serve-stale. A warm client during a meta-store crash must
+/// return the same bytes it returned fresh, merely marked stale.
+fn pin_serve_stale(tb: &Testbed, rng: &mut DetRng, seed: u64) {
+    let warm = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    let qc = QueryClass::hrpc_binding();
+    let name = HnsName::new(tb.ctx_bind(), "fiji.cs.washington.edu").expect("name");
+    let fresh = binding_bytes(&warm.find_nsm(&qc, &name).expect("fresh FindNSM"));
+
+    // Expire the cache with seed-jittered slack, then crash the meta
+    // host for a seed-jittered window.
+    tb.world
+        .charge_ms(f64::from(hns_core::META_TTL) * 1000.0 + 1_000.0 + rng.next_below(5_000) as f64);
+    let crash_start = tb.world.now();
+    let heal = crash_start + SimDuration::from_ms(60_000 + rng.next_below(240_000));
+    let mut plan = FaultPlan::new();
+    plan.crash(tb.hosts.meta, crash_start, Some(heal));
+    tb.world.set_faults(Some(plan));
+
+    let (binding, report) = warm
+        .find_nsm_report(&qc, &name)
+        .expect("stale FindNSM during crash");
+    assert!(
+        report.stale_served,
+        "seed {seed}: crash-window FindNSM must be marked stale"
+    );
+    assert_eq!(
+        fresh,
+        binding_bytes(&binding),
+        "seed {seed}: serve-stale path diverged from the fresh path"
+    );
+
+    // Heal before the next scenario reuses the world.
+    tb.world.set_faults(None);
+    tb.world
+        .charge(heal.since(tb.world.now()) + SimDuration::from_ms(1_000));
+}
+
+/// Part C: NSM failover. An `Import` answered by the replica binding
+/// NSM must hand back the same binding bytes as the primary did.
+fn pin_nsm_failover(tb: &Testbed, rng: &mut DetRng, seed: u64) {
+    let replica = tb.deploy_binding_bind_replica(tb.hosts.agent, NsmCacheForm::Demarshalled);
+    let warm = tb.make_hns(tb.hosts.client, CacheMode::Demarshalled);
+    let imp = Importer::new(
+        Arc::clone(&tb.net),
+        tb.hosts.client,
+        HnsHandle::Linked(Arc::clone(&warm)),
+    );
+    imp.set_alternate_nsm(Some(replica));
+    let name = HnsName::new(tb.ctx_bind(), "fiji.cs.washington.edu").expect("name");
+    let primary = binding_bytes(
+        &imp.import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &name)
+            .expect("pre-crash Import"),
+    );
+
+    let crash_start = tb.world.now();
+    let heal = crash_start + SimDuration::from_ms(30_000 + rng.next_below(60_000));
+    let mut plan = FaultPlan::new();
+    plan.crash(tb.hosts.nsm, crash_start, Some(heal));
+    tb.world.set_faults(Some(plan));
+
+    let failover = binding_bytes(
+        &imp.import(DESIRED_SERVICE, DESIRED_SERVICE_PROGRAM, &name)
+            .expect("failover Import"),
+    );
+    assert_eq!(
+        primary, failover,
+        "seed {seed}: replica-NSM failover diverged from the primary path"
+    );
+
+    tb.world.set_faults(None);
+    tb.world
+        .charge(heal.since(tb.world.now()) + SimDuration::from_ms(1_000));
+}
+
+/// Part D: Clearinghouse read failover. A lookup served by a propagated
+/// replica during a primary crash must produce the same value bytes.
+fn pin_ch_failover(tb: &Testbed, rng: &mut DetRng, seed: u64) {
+    let replica_host = tb.world.add_host("backup-dlion.cs.washington.edu");
+    let replica_server = ChServer::new(
+        "clearinghouse-replica",
+        ChDb::new(vec![("cs".into(), "uw".into())]),
+    );
+    replica_server.register_key(tb.creds.identity.clone(), tb.creds.key);
+    let cluster = ChCluster::new(
+        Arc::clone(&tb.world),
+        Arc::clone(&tb.ch.server),
+        tb.ch.host,
+        vec![(Arc::clone(&replica_server), replica_host)],
+    );
+    cluster.propagate();
+    let replica = deploy_ch(&tb.net, replica_host, replica_server);
+
+    let mut client = ChClient::new(
+        Arc::clone(&tb.net),
+        tb.hosts.client,
+        tb.ch.binding,
+        tb.creds.clone(),
+    );
+    let name = ThreePartName::parse("printserver:cs:uw").expect("name");
+    let primary = client
+        .lookup_item(&name, PROP_ADDRESS)
+        .expect("primary lookup");
+    client.set_read_fallbacks(vec![replica.binding]);
+
+    let crash_start = tb.world.now();
+    let heal = crash_start + SimDuration::from_ms(30_000 + rng.next_below(60_000));
+    let mut plan = FaultPlan::new();
+    plan.crash(tb.hosts.ch, crash_start, Some(heal));
+    tb.world.set_faults(Some(plan));
+
+    let fallback = client
+        .lookup_item(&name, PROP_ADDRESS)
+        .expect("fallback lookup");
+    assert_eq!(
+        wire::xdr::encode(&primary).expect("value encodes"),
+        wire::xdr::encode(&fallback).expect("value encodes"),
+        "seed {seed}: ChClient read failover diverged from the primary"
+    );
+
+    tb.world.set_faults(None);
+    tb.world
+        .charge(heal.since(tb.world.now()) + SimDuration::from_ms(1_000));
+}
+
+/// Runs the full differential suite for one seed, panicking with the
+/// seed and diverging path on any mismatch.
+pub fn run_seed(seed: u64) -> SeedSummary {
+    let mut rng = DetRng::new(seed ^ 0xD1FF_EE75);
+    let tb = Testbed::build();
+    tb.deploy_binding_nsms(tb.hosts.nsm, NsmCacheForm::Demarshalled);
+    tb.deploy_extension_nsms(tb.hosts.nsm);
+    tb.deploy_user_nsms(tb.hosts.nsm);
+
+    let targets = pin_findnsm_paths(&tb, &mut rng, seed);
+    pin_serve_stale(&tb, &mut rng, seed);
+    pin_nsm_failover(&tb, &mut rng, seed);
+    pin_ch_failover(&tb, &mut rng, seed);
+
+    SeedSummary {
+        seed,
+        targets,
+        fault_scenarios: 3,
+    }
+}

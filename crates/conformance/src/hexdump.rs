@@ -1,0 +1,101 @@
+//! Reviewable hex dumps: the on-disk form of the golden corpus.
+//!
+//! Corpus files are classic sixteen-bytes-per-row dumps (offset, hex,
+//! ASCII) rather than raw binary so an intentional encoder change shows
+//! up in review as a readable diff. [`parse`] turns a dump back into
+//! bytes, so the golden tests decode *from the committed file* — a
+//! decoder regression is caught even if the matching encoder drifted in
+//! lockstep.
+
+/// Bytes per dump row.
+const ROW: usize = 16;
+
+/// Renders `bytes` as an offset + hex + ASCII dump.
+pub fn render(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 4 + 64);
+    for (row, chunk) in bytes.chunks(ROW).enumerate() {
+        out.push_str(&format!("{:08x}  ", row * ROW));
+        for i in 0..ROW {
+            match chunk.get(i) {
+                Some(b) => out.push_str(&format!("{b:02x} ")),
+                None => out.push_str("   "),
+            }
+            if i == ROW / 2 - 1 {
+                out.push(' ');
+            }
+        }
+        out.push('|');
+        for &b in chunk {
+            out.push(if (0x20..0x7f).contains(&b) {
+                b as char
+            } else {
+                '.'
+            });
+        }
+        out.push_str("|\n");
+    }
+    if bytes.is_empty() {
+        out.push_str("00000000  |");
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Parses a dump produced by [`render`] back into bytes. Lines starting
+/// with `#` are comments and ignored.
+pub fn parse(text: &str) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rest = line
+            .split_once("  ")
+            .ok_or_else(|| format!("line {}: no offset separator", lineno + 1))?
+            .1;
+        let hex_part = rest.split('|').next().unwrap_or("");
+        for token in hex_part.split_whitespace() {
+            if token.len() != 2 {
+                return Err(format!("line {}: bad hex token `{token}`", lineno + 1));
+            }
+            let b = u8::from_str_radix(token, 16)
+                .map_err(|_| format!("line {}: bad hex token `{token}`", lineno + 1))?;
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 100] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let dump = render(&bytes);
+            assert_eq!(parse(&dump).expect("parse"), bytes, "len {len}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let bytes = vec![0xde, 0xad, 0xbe, 0xef];
+        let dump = format!("# header comment\n\n{}", render(&bytes));
+        assert_eq!(parse(&dump).expect("parse"), bytes);
+    }
+
+    #[test]
+    fn ascii_column_is_printable() {
+        let dump = render(b"hello\x00world");
+        assert!(dump.contains("|hello.world|"));
+    }
+
+    #[test]
+    fn malformed_dump_rejected() {
+        assert!(parse("garbage").is_err());
+        assert!(parse("00000000  zz |.|").is_err());
+    }
+}

@@ -237,7 +237,13 @@ impl<'a> Cursor<'a> {
             TAG_BYTES => Ok(Value::Bytes(self.read_opaque()?)),
             TAG_LIST => {
                 let n = self.read_u16()? as usize;
-                let mut items = Vec::with_capacity(n.min(1024));
+                // Every element carries at least a 2-byte tag, so a count
+                // the remaining bytes cannot satisfy is a truncation —
+                // rejected before allocating (length-prefix bomb defence).
+                if n > self.remaining() / 2 {
+                    return Err(WireError::Truncated);
+                }
+                let mut items = Vec::with_capacity(n);
                 for _ in 0..n {
                     items.push(self.read_value()?);
                 }
@@ -245,7 +251,12 @@ impl<'a> Cursor<'a> {
             }
             TAG_STRUCT => {
                 let n = self.read_u16()? as usize;
-                let mut fields = Vec::with_capacity(n.min(1024));
+                // A field needs a 2-byte name length plus a 2-byte value
+                // tag at minimum; bound the claim by the bytes on hand.
+                if n > self.remaining() / 4 {
+                    return Err(WireError::Truncated);
+                }
+                let mut fields = Vec::with_capacity(n);
                 for _ in 0..n {
                     let name = self.read_string()?;
                     let v = self.read_value()?;
@@ -330,6 +341,22 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "cut {cut} accepted");
         }
+    }
+
+    #[test]
+    fn length_bomb_rejected_before_allocation() {
+        // A list claiming 65535 items backed by zero bytes must be
+        // rejected as truncation before any allocation happens.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u16.to_be_bytes());
+        bytes.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+
+        // Same for a struct field-count bomb.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&8u16.to_be_bytes());
+        bytes.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

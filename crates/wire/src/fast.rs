@@ -70,7 +70,13 @@ pub fn decode_rr_batch(bytes: &[u8]) -> WireResult<(String, Vec<WireRecord>)> {
         .to_string();
     pos += name_len;
     let count = take_u16(bytes, &mut pos)? as usize;
-    let mut records = Vec::with_capacity(count.min(1024));
+    // A record needs at least 8 bytes (rtype + ttl + rdata length), so a
+    // count the remaining bytes cannot satisfy is a truncation — rejected
+    // before allocating (length-prefix bomb defence).
+    if count > (bytes.len() - pos) / 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut records = Vec::with_capacity(count);
     for _ in 0..count {
         let rtype = take_u16(bytes, &mut pos)?;
         let ttl = take_u32(bytes, &mut pos)?;
@@ -166,6 +172,15 @@ mod tests {
                 "cut {cut} accepted"
             );
         }
+    }
+
+    #[test]
+    fn record_count_bomb_rejected_before_allocation() {
+        // name_len 0, count 65535, no record bytes behind the claim.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0u16.to_be_bytes());
+        bytes.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode_rr_batch(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

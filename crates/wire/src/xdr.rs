@@ -232,7 +232,13 @@ impl<'a> Cursor<'a> {
                 if n > MAX_LEN {
                     return Err(WireError::Oversize(n));
                 }
-                let mut items = Vec::with_capacity(n.min(1024));
+                // Every element carries at least a 4-byte tag, so a count
+                // the remaining bytes cannot satisfy is a truncation —
+                // rejected before allocating (length-prefix bomb defence).
+                if n > self.remaining() / 4 {
+                    return Err(WireError::Truncated);
+                }
+                let mut items = Vec::with_capacity(n);
                 for _ in 0..n {
                     items.push(self.read_value()?);
                 }
@@ -243,7 +249,12 @@ impl<'a> Cursor<'a> {
                 if n > MAX_LEN {
                     return Err(WireError::Oversize(n));
                 }
-                let mut fields = Vec::with_capacity(n.min(1024));
+                // A field needs a 4-byte name length plus a 4-byte value
+                // tag at minimum; bound the claim by the bytes on hand.
+                if n > self.remaining() / 8 {
+                    return Err(WireError::Truncated);
+                }
+                let mut fields = Vec::with_capacity(n);
                 for _ in 0..n {
                     let name = self.read_string()?;
                     let v = self.read_value()?;
@@ -359,6 +370,30 @@ mod tests {
         bytes.extend_from_slice(&7u32.to_be_bytes()); // list tag
         bytes.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(decode(&bytes), Err(WireError::Oversize(_))));
+    }
+
+    #[test]
+    fn length_bomb_rejected_before_allocation() {
+        // A list claiming 2^20 items backed by zero bytes: the claim must
+        // be rejected as truncation, not pre-allocated even partially.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u32.to_be_bytes());
+        bytes.extend_from_slice(&(1u32 << 20).to_be_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+
+        // Same for a struct field-count bomb.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&8u32.to_be_bytes());
+        bytes.extend_from_slice(&(1u32 << 20).to_be_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+
+        // A claim the remaining bytes almost — but not quite — satisfy.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u32.to_be_bytes());
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&encode(&Value::Void).expect("encode"));
+        bytes.extend_from_slice(&encode(&Value::Void).expect("encode"));
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 pub use baselines;
 pub use bindns;
 pub use clearinghouse;
+pub use conformance;
 pub use hns_bench;
 pub use hns_core;
 pub use hrpc;
